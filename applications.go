@@ -1,0 +1,129 @@
+package lmfao
+
+import (
+	"repro/internal/ml/chowliu"
+	"repro/internal/ml/cube"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/tree"
+)
+
+// Linear regression (paper §2 "Ridge Linear Regression", §4.2).
+type (
+	// LinRegSpec declares the regression features over the joined database.
+	LinRegSpec = linreg.FeatureSpec
+	// LinRegModel is a trained ridge regression model.
+	LinRegModel = linreg.Model
+	// CovarMatrix is the non-centered covariance matrix Σ x·xᵀ.
+	CovarMatrix = linreg.CovarMatrix
+)
+
+// BuildCovarMatrix computes the covar matrix as one aggregate batch.
+func BuildCovarMatrix(eng *Engine, spec LinRegSpec) (*CovarMatrix, *BatchResult, error) {
+	return linreg.BuildCovar(eng, spec)
+}
+
+// LearnLinearRegression trains a ridge model with batch gradient descent
+// (Armijo backtracking + Barzilai-Borwein steps) over the covar matrix.
+func LearnLinearRegression(eng *Engine, spec LinRegSpec) (*LinRegModel, error) {
+	cm, _, err := linreg.BuildCovar(eng, spec)
+	if err != nil {
+		return nil, err
+	}
+	return linreg.LearnBGD(cm, spec, linreg.DefaultOptim())
+}
+
+// LearnLinearRegressionClosedForm solves the ridge normal equations directly
+// (the MADlib OLS proxy).
+func LearnLinearRegressionClosedForm(eng *Engine, spec LinRegSpec) (*LinRegModel, error) {
+	cm, _, err := linreg.BuildCovar(eng, spec)
+	if err != nil {
+		return nil, err
+	}
+	return linreg.LearnClosedForm(cm, spec)
+}
+
+// Polynomial regression (paper §2 "Higher-degree Regression Models", eq. 5).
+type (
+	// PolySpec declares a degree-2 polynomial regression model.
+	PolySpec = linreg.PolySpec
+	// PolyModel is a trained polynomial regression model.
+	PolyModel = linreg.PolyModel
+)
+
+// LearnPolynomialRegression trains a degree-2 polynomial model: its covar
+// matrix over all monomials of degree ≤ 2 is one aggregate batch.
+func LearnPolynomialRegression(eng *Engine, spec PolySpec) (*PolyModel, error) {
+	return linreg.LearnPolynomial(eng, spec)
+}
+
+// Decision trees (paper §2 "Classification and Regression Trees").
+type (
+	// TreeSpec configures CART learning.
+	TreeSpec = tree.Spec
+	// TreeModel is a learned decision tree.
+	TreeModel = tree.Model
+	// TreeTask selects regression or classification.
+	TreeTask = tree.Task
+)
+
+// Tree tasks and costs.
+const (
+	RegressionTree     = tree.Regression
+	ClassificationTree = tree.Classification
+	GiniCost           = tree.Gini
+	EntropyCost        = tree.Entropy
+)
+
+// DefaultTreeSpec fills the paper's CART defaults (depth 4, 20 buckets, min
+// split 1000).
+func DefaultTreeSpec(task TreeTask, label AttrID) TreeSpec {
+	return tree.DefaultSpec(task, label)
+}
+
+// LearnDecisionTree grows a CART tree; every node's split statistics are one
+// aggregate batch over the database.
+func LearnDecisionTree(eng *Engine, spec TreeSpec) (*TreeModel, error) {
+	return tree.Learn(eng, spec)
+}
+
+// Mutual information and Chow-Liu trees (paper §2 "Mutual Information").
+type (
+	// MIResult holds the pairwise mutual-information matrix.
+	MIResult = chowliu.Result
+	// ChowLiuEdge is one edge of the learned Bayesian network tree.
+	ChowLiuEdge = chowliu.Edge
+)
+
+// MutualInformation computes all pairwise MI values over the given discrete
+// attributes with one count-query batch.
+func MutualInformation(eng *Engine, attrs []AttrID) (*MIResult, *BatchResult, error) {
+	return chowliu.Compute(eng, attrs)
+}
+
+// LearnChowLiuTree computes MI and returns the maximum spanning tree — the
+// optimal tree-shaped Bayesian network.
+func LearnChowLiuTree(eng *Engine, attrs []AttrID) (*MIResult, []ChowLiuEdge, error) {
+	res, _, err := chowliu.Compute(eng, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, chowliu.ChowLiu(res), nil
+}
+
+// Data cubes (paper §2 "Data Cubes").
+type (
+	// CubeSpec configures a data cube (dimensions + measures).
+	CubeSpec = cube.Spec
+	// CubeResult is a computed cube (2^k cuboids).
+	CubeResult = cube.Result
+	// CubeRow is one 1NF row with ALL sentinels.
+	CubeRow = cube.Row
+)
+
+// CubeAll is the ALL sentinel of the 1NF cube representation.
+const CubeAll = cube.All
+
+// ComputeDataCube evaluates the 2^k cuboids as one batch.
+func ComputeDataCube(eng *Engine, spec CubeSpec) (*CubeResult, *BatchResult, error) {
+	return cube.Compute(eng, spec)
+}

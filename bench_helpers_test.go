@@ -1,0 +1,21 @@
+package lmfao_test
+
+import (
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/tree"
+)
+
+// benchLearnMaterialized runs the TensorFlow-proxy learner: full-batch
+// gradient descent over the flat join for a fixed number of epochs (the
+// paper reports one epoch for TensorFlow).
+func benchLearnMaterialized(flat *data.Relation, ds *datagen.Dataset, spec linreg.FeatureSpec, epochs int) (*linreg.Model, error) {
+	return linreg.LearnMaterialized(flat, ds.DB, spec, epochs, 1e-7)
+}
+
+// benchLearnTreeMaterialized runs the MADlib-proxy learner: CART over the
+// flat join.
+func benchLearnTreeMaterialized(flat *data.Relation, ds *datagen.Dataset, spec tree.Spec) (*tree.Model, error) {
+	return tree.LearnMaterialized(flat, ds.DB, spec)
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/tree"
+)
+
+// materializedLR is the TensorFlow-proxy learner (gradient descent over the
+// flat training dataset for the given number of epochs).
+func materializedLR(flat *data.Relation, ds *datagen.Dataset, spec linreg.FeatureSpec, epochs int) (*linreg.Model, error) {
+	return linreg.LearnMaterialized(flat, ds.DB, spec, epochs, 1e-7)
+}
+
+// materializedTree is the MADlib-proxy learner (CART over the flat join).
+func materializedTree(flat *data.Relation, ds *datagen.Dataset, spec tree.Spec) (*tree.Model, error) {
+	return tree.LearnMaterialized(flat, ds.DB, spec)
+}

@@ -1,0 +1,57 @@
+// Command lmfao-codegen emits the specialized Go source the Compilation
+// layer produces for a workload batch (the analogue of the paper's generated
+// C++, Figure 4):
+//
+//	lmfao-codegen -dataset favorita -workload covar -o covar_favorita.go
+//	lmfao-codegen -dataset retailer -workload rtnode        # to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "favorita", "dataset: retailer|favorita|yelp|tpcds")
+		workload = flag.String("workload", "covar", "workload: count|covar|rtnode|mi|cube")
+		scale    = flag.Float64("scale", 0.0005, "dataset scale (affects attribute orders)")
+		seed     = flag.Int64("seed", 2019, "generator seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *workload, *scale, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "lmfao-codegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, workload string, scale float64, seed int64, out string) error {
+	build, err := datagen.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	ds, err := build(datagen.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	batch, err := workloads.ByName(workload, ds)
+	if err != nil {
+		return err
+	}
+	src, err := codegen.Generate(ds.Tree, batch, codegen.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(src)
+		return err
+	}
+	return os.WriteFile(out, src, 0o644)
+}

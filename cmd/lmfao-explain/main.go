@@ -1,0 +1,83 @@
+// Command lmfao-explain prints the optimized plan for a workload batch in
+// the style of the paper's Figure 3: query roots, the directional views per
+// join-tree edge, and the view groups with their dependency graph.
+//
+//	lmfao-explain -dataset favorita -workload covar
+//	lmfao-explain -dataset retailer -workload rtnode -single-root
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "favorita", "dataset: retailer|favorita|yelp|tpcds")
+		workload   = flag.String("workload", "covar", "workload: count|covar|rtnode|mi|cube")
+		scale      = flag.Float64("scale", 0.0005, "dataset scale")
+		seed       = flag.Int64("seed", 2019, "generator seed")
+		singleRoot = flag.Bool("single-root", false, "disable per-query roots (Figure 5 ablation)")
+		noMerge    = flag.Bool("no-multi-output", false, "disable view grouping")
+	)
+	flag.Parse()
+	if err := run(*dataset, *workload, *scale, *seed, !*singleRoot, !*noMerge); err != nil {
+		fmt.Fprintf(os.Stderr, "lmfao-explain: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, workload string, scale float64, seed int64, multiRoot, multiOutput bool) error {
+	build, err := datagen.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	ds, err := build(datagen.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	batch, err := workloads.ByName(workload, ds)
+	if err != nil {
+		return err
+	}
+	plan, err := core.BuildPlan(ds.Tree, batch, core.PlanOptions{
+		MultiRoot:   multiRoot,
+		MultiOutput: multiOutput,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("join tree (%s):\n%s\n", dataset, indent(ds.Tree.String()))
+	fmt.Print(plan.Describe())
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

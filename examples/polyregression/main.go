@@ -1,0 +1,83 @@
+// Degree-2 polynomial regression (paper §2, "Higher-degree Regression
+// Models"): the model is linear in the monomials of degree ≤ 2, so its covar
+// matrix — all SUM(mi·mj) over monomial pairs — is still one aggregate batch
+// over the join, with the interaction terms' shared sub-products
+// deduplicated by the merge layer. Run with:
+//
+//	go run ./examples/polyregression
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lmfao "repro"
+	"repro/internal/baseline"
+	"repro/internal/datagen"
+	"repro/internal/moo"
+)
+
+func main() {
+	ds, err := datagen.Yelp(datagen.Config{Scale: 0.001, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Yelp: %d relations, %d tuples; predicting %q\n",
+		len(ds.DB.Relations()), ds.DB.TotalTuples(), ds.DB.Attribute(ds.Label).Name)
+
+	eng := moo.NewEngineWithTree(ds.DB, ds.Tree, moo.DefaultOptions())
+
+	// Features: a handful of numeric attributes spread across User,
+	// Business and Review.
+	var features []lmfao.AttrID
+	for _, a := range ds.Continuous {
+		if a != ds.Label && len(features) < 4 {
+			features = append(features, a)
+		}
+	}
+	spec := lmfao.PolySpec{Continuous: features, Label: ds.Label, Lambda: 1e-4}
+
+	start := time.Now()
+	model, err := lmfao.LearnPolynomialRegression(eng, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlearned %d monomial features in %v (one aggregate batch)\n",
+		len(model.Monomials), time.Since(start))
+
+	base := baseline.NewWithTree(ds.DB, ds.Tree)
+	flat, err := base.Materialize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmse, err := model.RMSE(flat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RMSE over the %d-tuple join: %.4f\n", flat.Len(), rmse)
+
+	// Compare against the purely linear model on the same features.
+	lin, err := lmfao.LearnLinearRegressionClosedForm(eng, lmfao.LinRegSpec{
+		Continuous: features, Label: ds.Label, Lambda: 1e-4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	linRMSE, err := lin.RMSE(flat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linear-only RMSE:              %.4f\n", linRMSE)
+
+	fmt.Println("\nlargest monomial weights:")
+	printed := 0
+	for i, m := range model.Monomials {
+		if model.Theta[i] > 0.05 || model.Theta[i] < -0.05 {
+			fmt.Printf("  %-40s % .4f\n", m.Name, model.Theta[i])
+			if printed++; printed == 8 {
+				break
+			}
+		}
+	}
+}

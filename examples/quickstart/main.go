@@ -1,0 +1,77 @@
+// Quickstart: build a tiny two-relation database, run a batch of group-by
+// aggregates over its natural join with the LMFAO engine, and inspect the
+// plan statistics. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lmfao "repro"
+)
+
+func main() {
+	db := lmfao.NewDatabase()
+
+	// Schema: Stores(store, city) ⋈ Sales(store, amount).
+	store := db.Attr("store", lmfao.Key)
+	city := db.Attr("city", lmfao.Categorical)
+	amount := db.Attr("amount", lmfao.Numeric)
+
+	stores := lmfao.NewRelation("Stores",
+		[]lmfao.AttrID{store, city},
+		[]lmfao.Column{
+			lmfao.IntColumn([]int64{0, 1, 2, 3, 4}),
+			lmfao.IntColumn([]int64{0, 0, 1, 1, 2}), // city codes
+		})
+	if err := db.AddRelation(stores); err != nil {
+		log.Fatal(err)
+	}
+	sales := lmfao.NewRelation("Sales",
+		[]lmfao.AttrID{store, amount},
+		[]lmfao.Column{
+			lmfao.IntColumn([]int64{0, 0, 1, 2, 2, 2, 3, 4, 4}),
+			lmfao.FloatColumn([]float64{12, 8, 30, 5, 7, 9, 42, 18, 6}),
+		})
+	if err := db.AddRelation(sales); err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := lmfao.NewEngine(db, lmfao.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A batch: per-city revenue statistics plus a global conditional sum —
+	// all computed in shared passes, never materializing the join.
+	batch := []*lmfao.Query{
+		lmfao.NewQuery("by_city", []lmfao.AttrID{city},
+			lmfao.Count(),
+			lmfao.Sum(amount),
+			lmfao.SumPow(amount, 2),
+		),
+		lmfao.NewQuery("large_sales", nil,
+			lmfao.NewAggregate("sum_large",
+				lmfao.NewTerm(lmfao.IdentF(amount), lmfao.IndicatorF(amount, lmfao.GT, 10)))),
+	}
+	res, err := eng.Run(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-city statistics:")
+	byCity := res.Results[0]
+	for i := 0; i < byCity.NumRows(); i++ {
+		key := byCity.Key(i)
+		fmt.Printf("  city=%d  count=%.0f  sum=%.1f  sumsq=%.1f\n",
+			key[0], byCity.Val(i, 0), byCity.Val(i, 1), byCity.Val(i, 2))
+	}
+	fmt.Printf("sum of sales > 10: %.1f\n", res.Results[1].Val(0, 0))
+
+	s := res.Plan.Stats
+	fmt.Printf("\nplan: %d application aggregates, %d views (%d before merging), %d groups\n",
+		s.AppAggregates, s.Views, s.RawViews, s.Groups)
+	fmt.Printf("computed in %v without materializing the join\n", res.Elapsed)
+}

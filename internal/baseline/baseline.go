@@ -1,0 +1,155 @@
+// Package baseline implements the conventional evaluation strategy the paper
+// benchmarks LMFAO against (DBX / MonetDB / PostgreSQL proxies): materialize
+// the natural join of the database once, then evaluate every query of the
+// batch independently by scanning the flat join result. No computation is
+// shared across queries and no aggregate is pushed past a join — exactly the
+// structure-agnostic two-step architecture of §5.
+//
+// It doubles as the test oracle: its semantics are plain SQL GROUP-BY over
+// the join, computed by brute force.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// Result is a group-by aggregate result keyed by packed group-by tuples.
+type Result struct {
+	Query   *query.Query
+	GroupBy []data.AttrID
+	// Rows maps data.PackKey(groupByValues...) to aggregate values in
+	// query aggregate order.
+	Rows map[string][]float64
+}
+
+// NumRows returns the number of result groups.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Engine evaluates query batches over the materialized join.
+type Engine struct {
+	db   *data.Database
+	tree *jointree.Tree
+	flat *data.Relation
+}
+
+// New builds a baseline engine over db (constructing a join tree only to
+// order the pairwise joins).
+func New(db *data.Database) (*Engine, error) {
+	tree, err := jointree.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, tree: tree}, nil
+}
+
+// NewWithTree uses an existing join tree.
+func NewWithTree(db *data.Database, tree *jointree.Tree) *Engine {
+	return &Engine{db: db, tree: tree}
+}
+
+// Materialize computes (and caches) the flat join result — the competitors'
+// "training dataset export" step.
+func (e *Engine) Materialize() (*data.Relation, error) {
+	if e.flat != nil {
+		return e.flat, nil
+	}
+	flat, err := e.tree.MaterializeAll("join_result")
+	if err != nil {
+		return nil, err
+	}
+	e.flat = flat
+	return flat, nil
+}
+
+// Run materializes the join and evaluates each query independently over it.
+func (e *Engine) Run(queries []*query.Query) ([]*Result, error) {
+	flat, err := e.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := RunOverFlat(e.db, flat, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// RunOverFlat evaluates one query with a single scan over a materialized
+// join result.
+func RunOverFlat(db *data.Database, flat *data.Relation, q *query.Query) (*Result, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, GroupBy: q.GroupBy, Rows: make(map[string][]float64)}
+
+	gbCols := make([]data.Column, len(q.GroupBy))
+	for i, a := range q.GroupBy {
+		c, ok := flat.Col(a)
+		if !ok {
+			return nil, fmt.Errorf("baseline: group-by attribute %q not in join result", db.Attribute(a).Name)
+		}
+		gbCols[i] = c
+	}
+	// Resolve each factor's column once.
+	type termSpec struct {
+		coef    float64
+		factors []query.Factor
+		cols    []data.Column
+	}
+	specs := make([][]termSpec, len(q.Aggs))
+	for ai, agg := range q.Aggs {
+		for _, t := range agg.Terms {
+			ts := termSpec{coef: t.Coef}
+			for _, f := range t.Factors {
+				if !f.HasAttr() {
+					ts.coef *= f.Value
+					continue
+				}
+				c, ok := flat.Col(f.Attr)
+				if !ok {
+					return nil, fmt.Errorf("baseline: attribute %q not in join result", db.Attribute(f.Attr).Name)
+				}
+				ts.factors = append(ts.factors, f)
+				ts.cols = append(ts.cols, c)
+			}
+			specs[ai] = append(specs[ai], ts)
+		}
+	}
+
+	if len(q.GroupBy) == 0 {
+		// Scalar queries always deliver one (possibly zero-valued) row.
+		res.Rows[""] = make([]float64, len(q.Aggs))
+	}
+
+	key := make([]int64, len(q.GroupBy))
+	buf := make([]byte, 0, 8*len(q.GroupBy))
+	for r := 0; r < flat.Len(); r++ {
+		for i, c := range gbCols {
+			key[i] = c.Int(r)
+		}
+		buf = data.AppendKey(buf[:0], key...)
+		row, ok := res.Rows[string(buf)]
+		if !ok {
+			row = make([]float64, len(q.Aggs))
+			res.Rows[string(buf)] = row
+		}
+		for ai := range specs {
+			for _, ts := range specs[ai] {
+				v := ts.coef
+				for fi, f := range ts.factors {
+					v *= f.Eval(ts.cols[fi].Float(r))
+				}
+				row[ai] += v
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+func twoRelDB(t *testing.T) (*data.Database, data.AttrID, data.AttrID, data.AttrID, data.AttrID) {
+	t.Helper()
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	c := db.Attr("c", data.Key)
+	x := db.Attr("x", data.Numeric)
+	r1 := data.NewRelation("R1", []data.AttrID{a, b}, []data.Column{
+		data.NewIntColumn([]int64{1, 1, 2}),
+		data.NewIntColumn([]int64{5, 6, 5}),
+	})
+	r2 := data.NewRelation("R2", []data.AttrID{b, c, x}, []data.Column{
+		data.NewIntColumn([]int64{5, 5, 6}),
+		data.NewIntColumn([]int64{8, 9, 8}),
+		data.NewFloatColumn([]float64{1.5, 2.5, 4.0}),
+	})
+	if err := db.AddRelation(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(r2); err != nil {
+		t.Fatal(err)
+	}
+	return db, a, b, c, x
+}
+
+func TestBaselineScalar(t *testing.T) {
+	db, _, _, _, x := twoRelDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run([]*query.Query{
+		query.NewQuery("q", nil, query.CountAgg(), query.SumAgg(x)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join: (1,5)x{(5,8,1.5),(5,9,2.5)}, (1,6)x{(6,8,4.0)}, (2,5)x{...}
+	// = rows: 2 + 1 + 2 = 5.
+	row := res[0].Rows[""]
+	if row[0] != 5 {
+		t.Fatalf("count = %g", row[0])
+	}
+	want := 1.5 + 2.5 + 4.0 + 1.5 + 2.5
+	if math.Abs(row[1]-want) > 1e-9 {
+		t.Fatalf("sum = %g want %g", row[1], want)
+	}
+	if res[0].NumRows() != 1 {
+		t.Fatalf("rows = %d", res[0].NumRows())
+	}
+}
+
+func TestBaselineGroupBy(t *testing.T) {
+	db, a, _, _, x := twoRelDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run([]*query.Query{
+		query.NewQuery("bya", []data.AttrID{a}, query.CountAgg(), query.SumAgg(x)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if len(r.Rows) != 2 {
+		t.Fatalf("groups = %d", len(r.Rows))
+	}
+	row1 := r.Rows[data.PackKey(1)]
+	if row1[0] != 3 || math.Abs(row1[1]-8.0) > 1e-9 {
+		t.Fatalf("group a=1: %v", row1)
+	}
+	row2 := r.Rows[data.PackKey(2)]
+	if row2[0] != 2 || math.Abs(row2[1]-4.0) > 1e-9 {
+		t.Fatalf("group a=2: %v", row2)
+	}
+}
+
+func TestBaselineEmptyJoinScalar(t *testing.T) {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	r1 := data.NewRelation("R1", []data.AttrID{a}, []data.Column{data.NewIntColumn([]int64{1})})
+	r2 := data.NewRelation("R2", []data.AttrID{a, b}, []data.Column{
+		data.NewIntColumn([]int64{2}), data.NewIntColumn([]int64{3})})
+	if err := db.AddRelation(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(r2); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run([]*query.Query{
+		query.NewQuery("scalar", nil, query.CountAgg()),
+		query.NewQuery("byb", []data.AttrID{b}, query.CountAgg()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Rows[""][0] != 0 {
+		t.Fatal("scalar count over empty join should be 0")
+	}
+	if len(res[1].Rows) != 0 {
+		t.Fatal("group-by over empty join should have no rows")
+	}
+}
+
+func TestBaselineInvalidQuery(t *testing.T) {
+	db, _, _, _, _ := twoRelDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run([]*query.Query{
+		query.NewQuery("bad", nil, query.SumAgg(data.AttrID(42))),
+	}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestMaterializeCached(t *testing.T) {
+	db, _, _, _, _ := twoRelDB(t)
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("materialization not cached")
+	}
+	if f1.Len() != 5 {
+		t.Fatalf("join rows = %d", f1.Len())
+	}
+}
+
+func TestRunOverFlatMissingAttr(t *testing.T) {
+	db, a, _, _, _ := twoRelDB(t)
+	flat := data.NewRelation("flat", []data.AttrID{a}, []data.Column{data.NewIntColumn([]int64{1})})
+	q := query.NewQuery("q", nil, query.SumAgg(3)) // x not in flat
+	if _, err := RunOverFlat(db, flat, q); err == nil {
+		t.Fatal("missing aggregate attribute accepted")
+	}
+	q2 := query.NewQuery("q2", []data.AttrID{1}, query.CountAgg()) // b not in flat
+	if _, err := RunOverFlat(db, flat, q2); err == nil {
+		t.Fatal("missing group-by attribute accepted")
+	}
+}

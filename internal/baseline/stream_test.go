@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// Property: the streaming per-query engine agrees exactly with the
+// materialize-then-scan oracle on random snowflake databases.
+func TestStreamerMatchesMaterialized(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(700 + trial)))
+		db := randomDB(t, rng)
+		e, err := New(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStreamer(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qs []*query.Query
+		attrs := discreteAttrs(db)
+		nums := numericAttrs(db)
+		for qi := 0; qi < 3; qi++ {
+			var gb []data.AttrID
+			for _, a := range attrs {
+				if rng.Intn(3) == 0 {
+					gb = append(gb, a)
+				}
+			}
+			aggs := []query.Aggregate{query.CountAgg()}
+			if len(nums) > 0 {
+				aggs = append(aggs, query.SumAgg(nums[rng.Intn(len(nums))]))
+			}
+			qs = append(qs, query.NewQuery(fmt.Sprintf("q%d", qi), gb, aggs...))
+		}
+		want, err := e.Run(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.RunBatchStreaming(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range qs {
+			compareRows(t, fmt.Sprintf("trial %d query %d", trial, qi), got[qi], want[qi])
+		}
+	}
+}
+
+func compareRows(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got.Rows), len(want.Rows))
+	}
+	for k, w := range want.Rows {
+		g, ok := got.Rows[k]
+		if !ok {
+			t.Fatalf("%s: missing key", label)
+		}
+		for c := range w {
+			if math.Abs(g[c]-w[c]) > 1e-9*(1+math.Abs(w[c])) {
+				t.Fatalf("%s: col %d: %g vs %g", label, c, g[c], w[c])
+			}
+		}
+	}
+}
+
+func randomDB(t *testing.T, rng *rand.Rand) *data.Database {
+	t.Helper()
+	db := data.NewDatabase()
+	k1 := db.Attr("k1", data.Key)
+	k2 := db.Attr("k2", data.Key)
+	c1 := db.Attr("c1", data.Key)
+	x := db.Attr("x", data.Numeric)
+	dom := 3 + rng.Intn(4)
+	n := 20 + rng.Intn(40)
+	fact := data.NewRelation("F", []data.AttrID{k1, k2, x}, []data.Column{
+		data.NewIntColumn(randInts(rng, n, dom)),
+		data.NewIntColumn(randInts(rng, n, dom)),
+		data.NewFloatColumn(randFloats(rng, n)),
+	})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	kv := make([]int64, dom)
+	for i := range kv {
+		kv[i] = int64(i)
+	}
+	d1 := data.NewRelation("D1", []data.AttrID{k1, c1}, []data.Column{
+		data.NewIntColumn(kv), data.NewIntColumn(randInts(rng, dom, 3))})
+	if err := db.AddRelation(d1); err != nil {
+		t.Fatal(err)
+	}
+	// Many-to-many second dimension (several rows per key).
+	m := dom * 2
+	d2 := data.NewRelation("D2", []data.AttrID{k2, db.Attr("c2", data.Key)}, []data.Column{
+		data.NewIntColumn(randInts(rng, m, dom)), data.NewIntColumn(randInts(rng, m, 4))})
+	if err := db.AddRelation(d2); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func randInts(rng *rand.Rand, n, dom int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(dom))
+	}
+	return out
+}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(9)) + 0.5
+	}
+	return out
+}
+
+func discreteAttrs(db *data.Database) []data.AttrID {
+	var out []data.AttrID
+	for i := 0; i < db.NumAttrs(); i++ {
+		if db.Attribute(data.AttrID(i)).Kind.Discrete() {
+			out = append(out, data.AttrID(i))
+		}
+	}
+	return out
+}
+
+func numericAttrs(db *data.Database) []data.AttrID {
+	var out []data.AttrID
+	for i := 0; i < db.NumAttrs(); i++ {
+		if db.Attribute(data.AttrID(i)).Kind == data.Numeric {
+			out = append(out, data.AttrID(i))
+		}
+	}
+	return out
+}
+
+func TestStreamerScalarAndEmpty(t *testing.T) {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	r1 := data.NewRelation("R1", []data.AttrID{a, b}, []data.Column{
+		data.NewIntColumn([]int64{1}), data.NewIntColumn([]int64{5})})
+	r2 := data.NewRelation("R2", []data.AttrID{b}, []data.Column{
+		data.NewIntColumn([]int64{6})}) // never joins
+	if err := db.AddRelation(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(r2); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunStreaming(query.NewQuery("count", nil, query.CountAgg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[""][0] != 0 {
+		t.Fatalf("empty join count = %g", res.Rows[""][0])
+	}
+	byA, err := st.RunStreaming(query.NewQuery("bya", []data.AttrID{a}, query.CountAgg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byA.Rows) != 0 {
+		t.Fatalf("empty join group-by rows = %d", len(byA.Rows))
+	}
+}
+
+func TestStreamerInvalidQuery(t *testing.T) {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	if err := db.AddRelation(data.NewRelation("R", []data.AttrID{a},
+		[]data.Column{data.NewIntColumn([]int64{1})})); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.RunStreaming(query.NewQuery("bad", nil, query.SumAgg(99))); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

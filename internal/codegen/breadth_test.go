@@ -1,0 +1,43 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+// Every paper workload over every dataset must generate valid (parse-clean,
+// gofmt-clean) specialized source — the codegen analogue of the engine's
+// integration matrix.
+func TestGenerateAllWorkloadsAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("breadth test")
+	}
+	cfg := datagen.Config{Scale: 0.0002, Seed: 13}
+	for _, name := range datagen.All() {
+		build, err := datagen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wl := range workloads.Names() {
+			t.Run(name+"/"+wl, func(t *testing.T) {
+				batch, err := workloads.ByName(wl, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src, err := Generate(ds.Tree, batch, DefaultOptions())
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				if len(src) < 1000 {
+					t.Fatalf("suspiciously small output: %d bytes", len(src))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// starDB builds a small star schema exercising lookups, carried group-bys,
+// indicators and leaf factors.
+func starDB(t *testing.T) (*data.Database, *jointree.Tree, map[string]data.AttrID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	db := data.NewDatabase()
+	ids := map[string]data.AttrID{}
+	k1 := db.Attr("k1", data.Key)
+	k2 := db.Attr("k2", data.Key)
+	c1 := db.Attr("c1", data.Categorical)
+	c2 := db.Attr("c2", data.Categorical)
+	m := db.Attr("m", data.Numeric)
+	p := db.Attr("p", data.Numeric)
+	ids["k1"], ids["k2"], ids["c1"], ids["c2"], ids["m"], ids["p"] = k1, k2, c1, c2, m, p
+
+	n, dom := 60, 6
+	f1 := make([]int64, n)
+	f2 := make([]int64, n)
+	mv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f1[i] = int64(rng.Intn(dom))
+		f2[i] = int64(rng.Intn(dom))
+		mv[i] = rng.Float64() * 10
+	}
+	fact := data.NewRelation("F", []data.AttrID{k1, k2, m}, []data.Column{
+		data.NewIntColumn(f1), data.NewIntColumn(f2), data.NewFloatColumn(mv)})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, k, c data.AttrID, withP bool) {
+		kv := make([]int64, dom)
+		cv := make([]int64, dom)
+		pv := make([]float64, dom)
+		for i := 0; i < dom; i++ {
+			kv[i] = int64(i)
+			cv[i] = int64(i % 3)
+			pv[i] = float64(i) + 0.5
+		}
+		attrs := []data.AttrID{k, c}
+		cols := []data.Column{data.NewIntColumn(kv), data.NewIntColumn(cv)}
+		if withP {
+			attrs = append(attrs, p)
+			cols = append(cols, data.NewFloatColumn(pv))
+		}
+		if err := db.AddRelation(data.NewRelation(name, attrs, cols)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("D1", k1, c1, true)
+	mk("D2", k2, c2, false)
+	tree, err := jointree.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tree, ids
+}
+
+func testBatch(ids map[string]data.AttrID) []*query.Query {
+	return []*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("stats", []data.AttrID{ids["c1"]},
+			query.SumAgg(ids["m"]),
+			query.SumProdAgg(ids["m"], ids["p"]),
+			query.NewAggregate("cond", query.NewTerm(
+				query.IndicatorF(ids["m"], query.LE, 5),
+				query.IdentF(ids["p"]))),
+		),
+		// Group-by spanning two dimensions: exercises carried views.
+		query.NewQuery("span", []data.AttrID{ids["c1"], ids["c2"]}, query.CountAgg()),
+	}
+}
+
+func TestGenerateParsesAndFormats(t *testing.T) {
+	_, tree, ids := starDB(t)
+	src, err := Generate(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v\n%s", err, src)
+	}
+	if !bytes.Contains(src, []byte("computeGroup0")) {
+		t.Fatal("no group functions emitted")
+	}
+	if !bytes.Contains(src, []byte("rangeEnd")) {
+		t.Fatal("no trie scan emitted")
+	}
+	// The indicator factor must be inlined.
+	if !bytes.Contains(src, []byte("b2f(")) {
+		t.Fatal("indicator not inlined")
+	}
+	if err := Validate(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedSourceCompiles(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	_, tree, ids := starDB(t)
+	src, err := Generate(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module generated\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated source failed to compile: %v\n%s\n----\n%s", err, out, src)
+	}
+}
+
+func TestGenerateWithUDFStubs(t *testing.T) {
+	_, tree, ids := starDB(t)
+	batch := []*query.Query{
+		query.NewQuery("udf", nil, query.NewAggregate("u",
+			query.NewTerm(query.CustomF("sigmoid", ids["m"], func(x float64) float64 { return x })))),
+	}
+	src, err := Generate(tree, batch, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(src, []byte("func udf_sigmoid(")) {
+		t.Fatal("UDF stub not emitted")
+	}
+}
+
+func TestGenerateSingleScanPerGroup(t *testing.T) {
+	_, tree, ids := starDB(t)
+	src, err := Generate(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count group functions vs queries: with multi-output sharing there
+	// must be fewer scans than views.
+	groups := strings.Count(string(src), "func computeGroup")
+	if groups == 0 {
+		t.Fatal("no groups")
+	}
+	srcNoOpt, err := Generate(tree, testBatch(ids), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsNoOpt := strings.Count(string(srcNoOpt), "func computeGroup")
+	if groups > groupsNoOpt {
+		t.Fatalf("multi-output produced more groups (%d) than without (%d)", groups, groupsNoOpt)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	if err := Validate([]byte("package main\nfunc {")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGenerateErrorPropagation(t *testing.T) {
+	_, tree, _ := starDB(t)
+	bad := []*query.Query{query.NewQuery("bad", nil, query.SumAgg(data.AttrID(99)))}
+	if _, err := Generate(tree, bad, DefaultOptions()); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+}
+
+func ExampleGenerate() {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	x := db.Attr("x", data.Numeric)
+	rel := data.NewRelation("R", []data.AttrID{a, x}, []data.Column{
+		data.NewIntColumn([]int64{1, 2}), data.NewFloatColumn([]float64{1, 2})})
+	if err := db.AddRelation(rel); err != nil {
+		panic(err)
+	}
+	tree, err := jointree.Build(db)
+	if err != nil {
+		panic(err)
+	}
+	src, err := Generate(tree, []*query.Query{
+		query.NewQuery("sum", []data.AttrID{a}, query.SumAgg(x)),
+	}, DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Contains(string(src), "package main"))
+	// Output: true
+}

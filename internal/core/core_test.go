@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// chain builds the paper's Example 3.3 schema: S1(x1,x2), ..., S{n-1}(x{n-1},xn).
+func chain(t *testing.T, n, rows int, seed int64) (*data.Database, *jointree.Tree, []data.AttrID) {
+	t.Helper()
+	db := data.NewDatabase()
+	attrs := make([]data.AttrID, n+1)
+	for i := 1; i <= n; i++ {
+		attrs[i] = db.Attr(fmt.Sprintf("x%d", i), data.Key)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 1; i < n; i++ {
+		a := make([]int64, rows)
+		b := make([]int64, rows)
+		for r := 0; r < rows; r++ {
+			a[r] = int64(rng.Intn(3))
+			b[r] = int64(rng.Intn(3))
+		}
+		rel := data.NewRelation(fmt.Sprintf("S%d", i),
+			[]data.AttrID{attrs[i], attrs[i+1]},
+			[]data.Column{data.NewIntColumn(a), data.NewIntColumn(b)})
+		if err := db.AddRelation(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := jointree.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tree, attrs
+}
+
+func countQueries(attrs []data.AttrID, n int) []*query.Query {
+	var qs []*query.Query
+	for i := 1; i <= n; i++ {
+		qs = append(qs, query.NewQuery(fmt.Sprintf("Q%d", i),
+			[]data.AttrID{attrs[i]}, query.CountAgg()))
+	}
+	return qs
+}
+
+func TestAssignRootsMultiRoot(t *testing.T) {
+	_, tree, attrs := chain(t, 4, 10, 1)
+	qs := countQueries(attrs, 4)
+	roots := assignRoots(tree, qs, true)
+	// Each query's root must contain its group-by attribute.
+	for qi, q := range qs {
+		if !tree.Nodes[roots[qi]].HasAttr(q.GroupBy[0]) {
+			t.Errorf("query %d root %d lacks its group-by attribute", qi, roots[qi])
+		}
+	}
+}
+
+func TestAssignRootsSingleRoot(t *testing.T) {
+	_, tree, attrs := chain(t, 4, 10, 1)
+	qs := countQueries(attrs, 4)
+	roots := assignRoots(tree, qs, false)
+	for _, r := range roots[1:] {
+		if r != roots[0] {
+			t.Fatalf("single-root mode produced distinct roots %v", roots)
+		}
+	}
+}
+
+func TestAssignRootsNoGroupBy(t *testing.T) {
+	_, tree, _ := chain(t, 4, 10, 1)
+	qs := []*query.Query{query.NewQuery("q", nil, query.CountAgg())}
+	roots := assignRoots(tree, qs, true)
+	if roots[0] < 0 || roots[0] >= len(tree.Nodes) {
+		t.Fatalf("root out of range: %d", roots[0])
+	}
+}
+
+func TestBuildPlanChainStructure(t *testing.T) {
+	_, tree, attrs := chain(t, 4, 10, 2)
+	qs := countQueries(attrs, 4)
+	p, err := BuildPlan(tree, qs, PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.OutputView) != 4 {
+		t.Fatalf("outputs = %d", len(p.OutputView))
+	}
+	for qi, vid := range p.OutputView {
+		v := p.Views[vid]
+		if !v.IsOutput() || v.Query != qi {
+			t.Fatalf("output view %d malformed: %+v", vid, v)
+		}
+		if v.From != p.Roots[qi] {
+			t.Fatalf("output view computed at %d, root is %d", v.From, p.Roots[qi])
+		}
+		if len(v.Cols) != 1 {
+			t.Fatalf("output cols = %d", len(v.Cols))
+		}
+	}
+	if p.Stats.AppAggregates != 4 {
+		t.Fatalf("A = %d", p.Stats.AppAggregates)
+	}
+	if p.Stats.RawViews != 4*2 { // 4 queries × 2 edges
+		t.Fatalf("raw views = %d", p.Stats.RawViews)
+	}
+	if p.Stats.Views <= 0 || p.Stats.Views > p.Stats.RawViews {
+		t.Fatalf("merged views = %d (raw %d)", p.Stats.Views, p.Stats.RawViews)
+	}
+	if p.Stats.Groups != len(p.Groups) {
+		t.Fatal("stats groups mismatch")
+	}
+}
+
+func TestMultiRootSharesCountViews(t *testing.T) {
+	// Example 3.3: with per-query roots, directional count views along the
+	// chain are shared across queries, so the total view count must not
+	// exceed 2 per edge (one per direction).
+	_, tree, attrs := chain(t, 5, 10, 3)
+	qs := countQueries(attrs, 5)
+	p, err := BuildPlan(tree, qs, PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := len(tree.Nodes) - 1
+	if p.Stats.Views > 2*edges {
+		t.Fatalf("views = %d, want <= %d (2 per edge)", p.Stats.Views, 2*edges)
+	}
+}
+
+func TestPushdownGroupByStructure(t *testing.T) {
+	_, tree, attrs := chain(t, 4, 10, 4) // S1(x1,x2) S2(x2,x3) S3(x3,x4)
+	// Q(x1, x4): group-by attributes at both ends forces carrying.
+	q := query.NewQuery("span", []data.AttrID{attrs[1], attrs[4]}, query.CountAgg())
+	p, err := BuildPlan(tree, []*query.Query{q}, PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := p.Roots[0]
+	rootNode := tree.Nodes[root]
+	// Root must contain x1 or x4.
+	if !rootNode.HasAttr(attrs[1]) && !rootNode.HasAttr(attrs[4]) {
+		t.Fatalf("root %d contains neither group-by attribute", root)
+	}
+	// Some internal view must carry the far group-by attribute: its
+	// group-by contains an attribute that is not a join attribute of its
+	// edge.
+	carried := false
+	for _, v := range p.Views {
+		if v.IsOutput() {
+			continue
+		}
+		join := map[data.AttrID]bool{}
+		for _, a := range tree.PathAttrs(v.From, v.To) {
+			join[a] = true
+		}
+		for _, g := range v.GroupBy {
+			if !join[g] {
+				carried = true
+			}
+		}
+	}
+	if !carried {
+		t.Fatal("no view carries the non-local group-by attribute")
+	}
+}
+
+func TestGroupDependenciesAcyclic(t *testing.T) {
+	_, tree, attrs := chain(t, 5, 10, 5)
+	qs := countQueries(attrs, 5)
+	for _, multiOutput := range []bool{true, false} {
+		p, err := BuildPlan(tree, qs, PlanOptions{MultiRoot: true, MultiOutput: multiOutput})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dependencies must reference earlier groups only (waves give a
+		// topological numbering).
+		for g, deps := range p.GroupDeps {
+			for _, d := range deps {
+				if d >= g {
+					t.Fatalf("multiOutput=%v: group %d depends on later group %d", multiOutput, g, d)
+				}
+			}
+		}
+		// Every view appears in exactly one group.
+		seen := map[int]int{}
+		for _, g := range p.Groups {
+			for _, vid := range g.Views {
+				seen[vid]++
+				if p.Views[vid].From != g.Node {
+					t.Fatalf("view %d at node %d grouped under node %d",
+						vid, p.Views[vid].From, g.Node)
+				}
+			}
+		}
+		for _, v := range p.Views {
+			if seen[v.ID] != 1 {
+				t.Fatalf("view %d appears in %d groups", v.ID, seen[v.ID])
+			}
+		}
+	}
+}
+
+func TestSingleViewPerGroupWithoutMultiOutput(t *testing.T) {
+	_, tree, attrs := chain(t, 4, 10, 6)
+	qs := countQueries(attrs, 4)
+	p, err := BuildPlan(tree, qs, PlanOptions{MultiRoot: true, MultiOutput: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p.Groups {
+		if len(g.Views) != 1 {
+			t.Fatalf("group %d has %d views with multi-output disabled", g.ID, len(g.Views))
+		}
+	}
+	if len(p.Groups) != len(p.Views) {
+		t.Fatalf("groups = %d, views = %d", len(p.Groups), len(p.Views))
+	}
+}
+
+func TestMergeSharesAcrossQueries(t *testing.T) {
+	// Two scalar queries over the same join must share every internal
+	// view (they decompose into identical count views).
+	_, tree, attrs := chain(t, 4, 10, 7)
+	q1 := query.NewQuery("c1", nil, query.CountAgg())
+	q2 := query.NewQuery("c2", nil, query.CountAgg())
+	single, err := BuildPlan(tree, []*query.Query{q1}, PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := BuildPlan(tree, []*query.Query{q1, q2}, PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Stats.Views != single.Stats.Views {
+		t.Fatalf("adding an identical query grew views: %d vs %d",
+			both.Stats.Views, single.Stats.Views)
+	}
+	_ = attrs
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	_, tree, attrs := chain(t, 3, 5, 8)
+	if _, err := BuildPlan(tree, nil, PlanOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := query.NewQuery("bad", nil, query.SumAgg(data.AttrID(99)))
+	if _, err := BuildPlan(tree, []*query.Query{bad}, PlanOptions{}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	_ = attrs
+}
+
+func TestProdAggSignature(t *testing.T) {
+	a := ProdAgg{
+		Factors: []query.Factor{query.IdentF(1), query.PowF(2, 2)},
+		Inputs:  []InputRef{{View: 3, Agg: 1}},
+	}
+	b := ProdAgg{
+		Factors: []query.Factor{query.PowF(2, 2), query.IdentF(1)},
+		Inputs:  []InputRef{{View: 3, Agg: 1}},
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatal("signature depends on factor order")
+	}
+	c := ProdAgg{Inputs: []InputRef{{View: 3, Agg: 2}}}
+	if a.Signature() == c.Signature() {
+		t.Fatal("distinct aggregates share signature")
+	}
+}
+
+func TestViewInputViews(t *testing.T) {
+	v := &View{Aggs: []ProdAgg{
+		{Inputs: []InputRef{{View: 5, Agg: 0}, {View: 2, Agg: 1}}},
+		{Inputs: []InputRef{{View: 5, Agg: 2}}},
+	}}
+	got := v.InputViews()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("InputViews = %v", got)
+	}
+}
+
+func TestStatsIntermediateAggregates(t *testing.T) {
+	_, tree, attrs := chain(t, 4, 10, 9)
+	q := query.NewQuery("sum", []data.AttrID{attrs[2]},
+		query.CountAgg(), query.SumProdAgg(attrs[1], attrs[4]))
+	p, err := BuildPlan(tree, []*query.Query{q}, PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.AppAggregates != 2 {
+		t.Fatalf("A = %d", p.Stats.AppAggregates)
+	}
+	if p.Stats.IntermediateAggs <= 0 {
+		t.Fatalf("I = %d, expected intermediates", p.Stats.IntermediateAggs)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is the engine's computational unit (paper §3.4–3.5): a set of views
+// out of the same join-tree node with no dependencies among them, evaluated
+// together by a single multi-output scan of the node's relation.
+type Group struct {
+	ID    int
+	Node  int   // join-tree node whose relation the group scans
+	Views []int // view IDs computed by this group
+}
+
+// groupViews clusters views into groups wave by wave: a view is ready once
+// all of its input views belong to earlier waves; ready views out of the same
+// node form one group. This realizes both grouping conditions of the paper
+// ("no view in the group depends on another view" and "all views within the
+// group go out of the same relation") and yields an acyclic group dependency
+// graph by construction. With multiOutput disabled (the Figure 5 ablation),
+// every view gets its own group — one relation scan per view.
+func groupViews(views []*View, multiOutput bool) ([]*Group, [][]int, error) {
+	done := make([]bool, len(views))
+	groupOf := make([]int, len(views))
+	var groups []*Group
+
+	remaining := len(views)
+	for remaining > 0 {
+		var ready []int
+		for _, v := range views {
+			if done[v.ID] {
+				continue
+			}
+			ok := true
+			for _, in := range v.InputViews() {
+				if !done[in] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, v.ID)
+			}
+		}
+		if len(ready) == 0 {
+			return nil, nil, fmt.Errorf("core: cyclic view dependencies among %d views", remaining)
+		}
+		sort.Ints(ready)
+		if multiOutput {
+			// Partition the wave by node.
+			byNode := map[int][]int{}
+			var nodes []int
+			for _, id := range ready {
+				n := views[id].From
+				if _, seen := byNode[n]; !seen {
+					nodes = append(nodes, n)
+				}
+				byNode[n] = append(byNode[n], id)
+			}
+			sort.Ints(nodes)
+			for _, n := range nodes {
+				g := &Group{ID: len(groups), Node: n, Views: byNode[n]}
+				groups = append(groups, g)
+				for _, id := range byNode[n] {
+					groupOf[id] = g.ID
+				}
+			}
+		} else {
+			for _, id := range ready {
+				g := &Group{ID: len(groups), Node: views[id].From, Views: []int{id}}
+				groups = append(groups, g)
+				groupOf[id] = g.ID
+			}
+		}
+		for _, id := range ready {
+			done[id] = true
+			remaining--
+		}
+	}
+
+	// Group dependency graph: deps[g] lists groups that must complete
+	// before g runs (paper Figure 3 right).
+	deps := make([][]int, len(groups))
+	for _, g := range groups {
+		set := map[int]struct{}{}
+		for _, vid := range g.Views {
+			for _, in := range views[vid].InputViews() {
+				if groupOf[in] != g.ID {
+					set[groupOf[in]] = struct{}{}
+				}
+			}
+		}
+		for d := range set {
+			deps[g.ID] = append(deps[g.ID], d)
+		}
+		sort.Ints(deps[g.ID])
+	}
+	return groups, deps, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// PlanOptions selects which logical optimizations apply; disabling them
+// reproduces the ablation configurations of the paper's Figure 5.
+type PlanOptions struct {
+	// MultiRoot lets each query pick its own join-tree root (§3.3).
+	MultiRoot bool
+	// MultiOutput groups independent views out of the same node into one
+	// shared scan (§3.5); disabled, each view is computed by its own scan.
+	MultiOutput bool
+}
+
+// Stats records the planner's consolidation numbers, matching the columns of
+// the paper's Table 2.
+type Stats struct {
+	// RawViews is the pre-consolidation count: one view per aggregate per
+	// join-tree edge (the paper's "814 aggregates × 4 edges = 3,256 views").
+	RawViews int
+	// Views is the number of merged directional views (paper column V).
+	Views int
+	// Groups is the number of view groups (paper column G).
+	Groups int
+	// AppAggregates is the number of application aggregates (paper A).
+	AppAggregates int
+	// IntermediateAggs counts additional product aggregates synthesized
+	// across all views (paper I): total product aggregates minus A.
+	IntermediateAggs int
+}
+
+// Plan is the fully optimized logical plan for a batch: the consolidated
+// directional views, the query output views, and the grouped execution order.
+type Plan struct {
+	Tree    *jointree.Tree
+	Queries []*query.Query
+	Roots   []int
+	// Views lists merged internal views followed by one output view per
+	// query; IDs equal slice positions.
+	Views []*View
+	// OutputView[i] is the view ID delivering queries[i]'s result.
+	OutputView []int
+	Groups     []*Group
+	// GroupDeps[g] lists the group IDs that must finish before group g.
+	GroupDeps [][]int
+	Stats     Stats
+}
+
+// BuildPlan runs the logical layers — Find Roots, Aggregate Pushdown, Merge
+// Views, Group Views — over the batch.
+func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Plan, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
+	}
+	for _, q := range queries {
+		if err := q.Validate(t.DB); err != nil {
+			return nil, err
+		}
+	}
+	roots := assignRoots(t, queries, opts.MultiRoot)
+	raw, outputs, rawCount, err := pushdown(t, queries, roots)
+	if err != nil {
+		return nil, err
+	}
+	views := mergeViews(raw, outputs)
+	groups, deps, err := groupViews(views, opts.MultiOutput)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		Tree:       t,
+		Queries:    queries,
+		Roots:      roots,
+		Views:      views,
+		OutputView: make([]int, len(queries)),
+		Groups:     groups,
+		GroupDeps:  deps,
+	}
+	totalAggs := 0
+	for _, v := range views {
+		totalAggs += len(v.Aggs)
+		if v.IsOutput() {
+			p.OutputView[v.Query] = v.ID
+		} else {
+			p.Stats.Views++
+		}
+	}
+	for _, q := range queries {
+		p.Stats.AppAggregates += len(q.Aggs)
+	}
+	p.Stats.RawViews = rawCount
+	p.Stats.Groups = len(groups)
+	p.Stats.IntermediateAggs = totalAggs - p.Stats.AppAggregates
+	if p.Stats.IntermediateAggs < 0 {
+		p.Stats.IntermediateAggs = 0
+	}
+	return p, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// assignRoots picks a join-tree root node for every query in the batch using
+// the paper's heuristic (§3.3): each query spreads a unit of weight over the
+// relations containing its group-by attributes (or uniformly if it has none);
+// relations are ranked by accumulated weight (ties: larger relation), and
+// each query is assigned the best-ranked relation it considers a possible
+// root. With multiRoot disabled, every query uses the single best-ranked
+// relation (the one-pass bottom-up default, and the Figure 5 ablation).
+func assignRoots(t *jointree.Tree, queries []*query.Query, multiRoot bool) []int {
+	n := len(t.Nodes)
+	weight := make([]float64, n)
+	// frac[q][node] is the fraction of q's group-by attributes in the node.
+	frac := make([][]float64, len(queries))
+	for qi, q := range queries {
+		frac[qi] = make([]float64, n)
+		if len(q.GroupBy) == 0 {
+			for i := range frac[qi] {
+				frac[qi][i] = 1.0 / float64(n)
+				weight[i] += frac[qi][i]
+			}
+			continue
+		}
+		for ni, node := range t.Nodes {
+			c := 0
+			for _, g := range q.GroupBy {
+				if node.HasAttr(g) {
+					c++
+				}
+			}
+			f := float64(c) / float64(len(q.GroupBy))
+			frac[qi][ni] = f
+			weight[ni] += f
+		}
+	}
+
+	// Rank nodes by (weight desc, relation size desc, id asc) for
+	// determinism.
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool {
+		i, j := rank[a], rank[b]
+		if weight[i] != weight[j] {
+			return weight[i] > weight[j]
+		}
+		if t.Nodes[i].Rel.Len() != t.Nodes[j].Rel.Len() {
+			return t.Nodes[i].Rel.Len() > t.Nodes[j].Rel.Len()
+		}
+		return i < j
+	})
+
+	roots := make([]int, len(queries))
+	if !multiRoot {
+		for qi := range roots {
+			roots[qi] = rank[0]
+		}
+		return roots
+	}
+	for qi := range queries {
+		roots[qi] = rank[0]
+		for _, ni := range rank {
+			if frac[qi][ni] > 0 {
+				roots[qi] = ni
+				break
+			}
+		}
+	}
+	return roots
+}
+
+// containsAttr reports whether sorted ids contains a.
+func containsAttr(ids []data.AttrID, a data.AttrID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= a })
+	return i < len(ids) && ids[i] == a
+}

@@ -1,0 +1,117 @@
+// Package core implements the logical optimization layers of LMFAO
+// (paper Figure 1): Find Roots, Aggregate Pushdown into directional views,
+// Merge Views, and Group Views with their dependency graph. The output is a
+// Plan consumed by the multi-output executor (internal/moo).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// InputRef references one aggregate (column) of an incoming view.
+type InputRef struct {
+	View int // view ID
+	Agg  int // product-aggregate index within that view
+}
+
+// ProdAgg is a single product aggregate inside a directional view:
+// Π local factors × Π referenced child-view aggregates. Aggregate pushdown
+// decomposes every term of every application aggregate into a chain of
+// ProdAggs along the join tree. Coefficients stay at the output layer so that
+// structurally identical products from different terms share one ProdAgg.
+type ProdAgg struct {
+	Factors []query.Factor // factors over attributes of the view's node
+	Inputs  []InputRef     // at most one per child edge
+}
+
+// Signature returns a structural identity used for aggregate deduplication
+// (paper merge case: "identical views constructed for different aggregates").
+// It is only meaningful after the referenced views have canonical IDs.
+func (p ProdAgg) Signature() string {
+	fs := make([]string, 0, len(p.Factors)+len(p.Inputs))
+	for _, f := range p.Factors {
+		fs = append(fs, f.Signature())
+	}
+	for _, in := range p.Inputs {
+		fs = append(fs, fmt.Sprintf("v%d.%d", in.View, in.Agg))
+	}
+	sort.Strings(fs)
+	return strings.Join(fs, "*")
+}
+
+// OutputCol describes one application-level aggregate column of an output
+// view: the sum of its terms' ProdAggs weighted by the term coefficients.
+type OutputCol struct {
+	Name  string
+	Aggs  []int // ProdAgg indices within the view
+	Coefs []float64
+}
+
+// View is a directional view (paper §3.2) or, when To == QueryTarget, the
+// output of an application query computed at its root node.
+type View struct {
+	ID      int
+	From    int // join-tree node the view is computed at
+	To      int // neighboring node it flows to, or QueryTarget
+	GroupBy []data.AttrID
+	Aggs    []ProdAgg
+	Cols    []OutputCol // column map; for internal views, one col per agg
+
+	// Query is the batch index of the originating query for output views
+	// (To == QueryTarget); -1 otherwise.
+	Query int
+}
+
+// QueryTarget marks output views: they flow to the application, not along an
+// edge.
+const QueryTarget = -1
+
+// IsOutput reports whether the view is an application query output.
+func (v *View) IsOutput() bool { return v.To == QueryTarget }
+
+// NumCols returns the number of result columns of the view.
+func (v *View) NumCols() int { return len(v.Cols) }
+
+// InputViews returns the sorted set of distinct view IDs referenced by the
+// view's aggregates.
+func (v *View) InputViews() []int {
+	set := map[int]struct{}{}
+	for _, a := range v.Aggs {
+		for _, in := range a.Inputs {
+			set[in.View] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// groupBySig returns a canonical string for the group-by attribute set.
+func groupBySig(gb []data.AttrID) string {
+	parts := make([]string, len(gb))
+	for i, a := range gb {
+		parts[i] = fmt.Sprint(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// sortAttrs sorts and deduplicates attribute IDs in place, returning the
+// result.
+func sortAttrs(ids []data.AttrID) []data.AttrID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Package data implements the in-memory columnar storage substrate used by
+// the LMFAO engine: typed attributes with per-database identity, dictionary
+// encoding for categorical values, sorted relations with trie-style grouped
+// scans, and key packing for group-by hash tables.
+//
+// The value model follows the paper's usage: attributes that can appear in
+// group-by clauses or as join keys are discrete (int64; keys and
+// dictionary-encoded categoricals), while continuous attributes (float64)
+// appear only inside aggregate functions.
+package data
+
+import "fmt"
+
+// AttrID identifies an attribute within a Database. Attribute identity is
+// global to the database, not per-relation: the natural join semantics of the
+// engine equate columns of the same AttrID across relations.
+type AttrID int32
+
+// Kind classifies an attribute.
+type Kind uint8
+
+const (
+	// Key marks a discrete join-key attribute (int64 values).
+	Key Kind = iota
+	// Categorical marks a discrete, dictionary-encoded attribute (int64
+	// codes into the database dictionary).
+	Categorical
+	// Numeric marks a continuous attribute (float64 values). Numeric
+	// attributes cannot be join keys or group-by attributes.
+	Numeric
+)
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	switch k {
+	case Key:
+		return "key"
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Discrete reports whether attributes of this kind hold int64 values and may
+// serve as join keys or group-by attributes.
+func (k Kind) Discrete() bool { return k != Numeric }
+
+// Attribute describes one attribute of the database schema.
+type Attribute struct {
+	ID   AttrID
+	Name string
+	Kind Kind
+}

@@ -1,0 +1,42 @@
+package data
+
+// Dictionary maps categorical string values to dense int64 codes and back.
+// Codes are assigned in first-seen order starting at 0. The zero value is not
+// usable; construct with NewDictionary.
+type Dictionary struct {
+	values []string
+	index  map[string]int64
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{index: make(map[string]int64)}
+}
+
+// Code returns the code for v, assigning a fresh code if v is new.
+func (d *Dictionary) Code(v string) int64 {
+	if c, ok := d.index[v]; ok {
+		return c
+	}
+	c := int64(len(d.values))
+	d.values = append(d.values, v)
+	d.index[v] = c
+	return c
+}
+
+// Lookup returns the code for v and whether it is present, without assigning.
+func (d *Dictionary) Lookup(v string) (int64, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Value returns the string for code c, or "" if c is out of range.
+func (d *Dictionary) Value(c int64) string {
+	if c < 0 || c >= int64(len(d.values)) {
+		return ""
+	}
+	return d.values[c]
+}
+
+// Len returns the number of distinct values.
+func (d *Dictionary) Len() int { return len(d.values) }

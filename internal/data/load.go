@@ -1,0 +1,100 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ColumnSpec declares one column of a TSV file being loaded.
+type ColumnSpec struct {
+	Name string
+	Kind Kind
+}
+
+// LoadTSV reads a tab-separated file with a header row into a relation,
+// registering attributes in db as needed. Discrete columns parse as int64
+// (Categorical columns may also hold arbitrary strings, which are
+// dictionary-encoded); numeric columns parse as float64. The header must
+// match the specs by name and order.
+func LoadTSV(db *Database, name string, r io.Reader, specs []ColumnSpec) (*Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("data: load %q: empty input", name)
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) != len(specs) {
+		return nil, fmt.Errorf("data: load %q: header has %d columns, want %d", name, len(header), len(specs))
+	}
+	attrs := make([]AttrID, len(specs))
+	for i, spec := range specs {
+		if header[i] != spec.Name {
+			return nil, fmt.Errorf("data: load %q: column %d is %q, want %q", name, i, header[i], spec.Name)
+		}
+		attrs[i] = db.Attr(spec.Name, spec.Kind)
+	}
+
+	ints := make([][]int64, len(specs))
+	floats := make([][]float64, len(specs))
+	for i, spec := range specs {
+		if spec.Kind.Discrete() {
+			ints[i] = []int64{}
+		} else {
+			floats[i] = []float64{}
+		}
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) == 1 && fields[0] == "" {
+			continue // trailing blank line
+		}
+		if len(fields) != len(specs) {
+			return nil, fmt.Errorf("data: load %q line %d: %d fields, want %d", name, line, len(fields), len(specs))
+		}
+		for i, spec := range specs {
+			f := fields[i]
+			switch {
+			case spec.Kind == Numeric:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("data: load %q line %d column %q: %v", name, line, spec.Name, err)
+				}
+				floats[i] = append(floats[i], v)
+			case spec.Kind == Categorical:
+				// Integers pass through; other strings dictionary-encode.
+				if v, err := strconv.ParseInt(f, 10, 64); err == nil {
+					ints[i] = append(ints[i], v)
+				} else {
+					ints[i] = append(ints[i], db.Dict(attrs[i]).Code(f))
+				}
+			default: // Key
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("data: load %q line %d column %q: %v", name, line, spec.Name, err)
+				}
+				ints[i] = append(ints[i], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: load %q: %w", name, err)
+	}
+	cols := make([]Column, len(specs))
+	for i, spec := range specs {
+		if spec.Kind.Discrete() {
+			cols[i] = NewIntColumn(ints[i])
+		} else {
+			cols[i] = NewFloatColumn(floats[i])
+		}
+	}
+	rel := NewRelation(name, attrs, cols)
+	if err := db.AddRelation(rel); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}

@@ -1,0 +1,91 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadTSV(t *testing.T) {
+	db := NewDatabase()
+	input := "store\tcity\tsales\n" +
+		"1\tBoston\t10.5\n" +
+		"2\tBoston\t20\n" +
+		"3\tAustin\t30.25\n"
+	rel, err := LoadTSV(db, "Sales", strings.NewReader(input), []ColumnSpec{
+		{Name: "store", Kind: Key},
+		{Name: "city", Kind: Categorical},
+		{Name: "sales", Kind: Numeric},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	city, _ := db.AttrByName("city")
+	c := rel.MustCol(city)
+	if c.Int(0) != c.Int(1) || c.Int(0) == c.Int(2) {
+		t.Fatalf("dictionary codes wrong: %v", c.Ints)
+	}
+	if db.Dict(city).Value(c.Int(2)) != "Austin" {
+		t.Fatal("dictionary round-trip failed")
+	}
+	sales, _ := db.AttrByName("sales")
+	if rel.MustCol(sales).Float(2) != 30.25 {
+		t.Fatal("numeric parse wrong")
+	}
+	// Registered with the database.
+	if db.Relation("Sales") != rel {
+		t.Fatal("relation not registered")
+	}
+}
+
+func TestLoadTSVIntegerCategorical(t *testing.T) {
+	db := NewDatabase()
+	input := "c\n5\n7\n5\n"
+	rel, err := LoadTSV(db, "R", strings.NewReader(input), []ColumnSpec{
+		{Name: "c", Kind: Categorical},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cols[0].Int(0) != 5 || rel.Cols[0].Int(1) != 7 {
+		t.Fatalf("integer categorical codes = %v", rel.Cols[0].Ints)
+	}
+}
+
+func TestLoadTSVRoundTripWithExport(t *testing.T) {
+	// A file with a trailing newline loads cleanly.
+	db := NewDatabase()
+	input := "k\tx\n1\t1.5\n2\t2.5\n\n"
+	rel, err := LoadTSV(db, "R", strings.NewReader(input), []ColumnSpec{
+		{Name: "k", Kind: Key}, {Name: "x", Kind: Numeric},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+}
+
+func TestLoadTSVErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		specs []ColumnSpec
+	}{
+		{"empty", "", []ColumnSpec{{Name: "a", Kind: Key}}},
+		{"header mismatch", "b\n1\n", []ColumnSpec{{Name: "a", Kind: Key}}},
+		{"arity mismatch", "a\tb\n1\n", []ColumnSpec{{Name: "a", Kind: Key}, {Name: "b", Kind: Key}}},
+		{"bad int", "a\nxyz\n", []ColumnSpec{{Name: "a", Kind: Key}}},
+		{"bad float", "a\nxyz\n", []ColumnSpec{{Name: "a", Kind: Numeric}}},
+		{"header count", "a\n1\n", []ColumnSpec{{Name: "a", Kind: Key}, {Name: "b", Kind: Key}}},
+	}
+	for _, tc := range cases {
+		db := NewDatabase()
+		if _, err := LoadTSV(db, "R", strings.NewReader(tc.input), tc.specs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

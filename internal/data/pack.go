@@ -1,0 +1,34 @@
+package data
+
+import "encoding/binary"
+
+// Key packing: group-by tuples of discrete values are encoded as compact
+// byte strings for use as Go map keys. Encoding is fixed-width little-endian
+// int64 per component, so packing round-trips losslessly and lexicographic
+// questions are left to the caller (hash maps do not need order).
+
+// AppendKey appends the packed encoding of vals to buf and returns it.
+func AppendKey(buf []byte, vals ...int64) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// PackKey returns the packed encoding of vals as a string (a fresh
+// allocation; use AppendKey with a reused buffer plus an explicit
+// string conversion on the hot path).
+func PackKey(vals ...int64) string {
+	return string(AppendKey(make([]byte, 0, 8*len(vals)), vals...))
+}
+
+// UnpackKey decodes a packed key into dst, which must have length
+// len(key)/8.
+func UnpackKey(key string, dst []int64) {
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64([]byte(key[i*8 : i*8+8])))
+	}
+}
+
+// KeyLen returns the number of components in a packed key.
+func KeyLen(key string) int { return len(key) / 8 }

@@ -1,0 +1,203 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Relation is an in-memory columnar relation. Columns are parallel to Attrs.
+// A relation may be sorted by a prefix order of discrete attributes
+// (SortOrder); the MOO executor relies on sortedness for trie-style scans.
+type Relation struct {
+	Name  string
+	Attrs []AttrID
+	Cols  []Column
+
+	n int
+
+	// sortOrder is the attribute order the rows are currently sorted by
+	// (lexicographically); nil if unsorted.
+	sortOrder []AttrID
+
+	// distinct caches per-attribute distinct-value counts; distinctMu
+	// guards it because group plans compile concurrently.
+	distinctMu sync.Mutex
+	distinct   map[AttrID]int
+}
+
+// NewRelation constructs a relation over the given attributes and columns.
+// All columns must have equal length and match their attribute kinds; this is
+// checked when the relation is added to a Database.
+func NewRelation(name string, attrs []AttrID, cols []Column) *Relation {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	return &Relation{Name: name, Attrs: attrs, Cols: cols, n: n}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.n }
+
+// HasAttr reports whether the relation's schema contains id.
+func (r *Relation) HasAttr(id AttrID) bool { return r.colIndex(id) >= 0 }
+
+// Col returns the column for attribute id; ok is false if absent.
+func (r *Relation) Col(id AttrID) (Column, bool) {
+	i := r.colIndex(id)
+	if i < 0 {
+		return Column{}, false
+	}
+	return r.Cols[i], true
+}
+
+// MustCol returns the column for attribute id, panicking if absent. Intended
+// for engine-internal use after schema validation.
+func (r *Relation) MustCol(id AttrID) Column {
+	c, ok := r.Col(id)
+	if !ok {
+		panic(fmt.Sprintf("data: relation %q has no attribute %d", r.Name, id))
+	}
+	return c
+}
+
+func (r *Relation) colIndex(id AttrID) int {
+	for i, a := range r.Attrs {
+		if a == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Relation) validate(db *Database) error {
+	if len(r.Attrs) != len(r.Cols) {
+		return fmt.Errorf("%d attributes but %d columns", len(r.Attrs), len(r.Cols))
+	}
+	seen := make(map[AttrID]bool, len(r.Attrs))
+	for i, a := range r.Attrs {
+		if int(a) < 0 || int(a) >= len(db.attrs) {
+			return fmt.Errorf("unknown attribute id %d", a)
+		}
+		if seen[a] {
+			return fmt.Errorf("duplicate attribute %q", db.attrs[a].Name)
+		}
+		seen[a] = true
+		if err := r.Cols[i].check(r.n, db.attrs[a].Kind); err != nil {
+			return fmt.Errorf("column %q: %w", db.attrs[a].Name, err)
+		}
+	}
+	return nil
+}
+
+// SortOrder returns the attribute order the relation is sorted by, or nil.
+func (r *Relation) SortOrder() []AttrID { return r.sortOrder }
+
+// SortedBy reports whether the relation is sorted lexicographically by a
+// sequence of attributes beginning with order (i.e. order is a prefix of the
+// current sort order).
+func (r *Relation) SortedBy(order []AttrID) bool {
+	if len(order) > len(r.sortOrder) {
+		return false
+	}
+	for i, a := range order {
+		if r.sortOrder[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// SortBy sorts the relation in place lexicographically by the given discrete
+// attributes. It is a no-op if the relation is already sorted by a
+// compatible prefix. Numeric attributes cannot be sort keys.
+func (r *Relation) SortBy(order []AttrID) error {
+	if r.SortedBy(order) {
+		return nil
+	}
+	keys := make([][]int64, len(order))
+	for i, a := range order {
+		c, ok := r.Col(a)
+		if !ok {
+			return fmt.Errorf("data: sort of %q: missing attribute %d", r.Name, a)
+		}
+		if !c.IsInt() {
+			return fmt.Errorf("data: sort of %q: attribute %d is numeric", r.Name, a)
+		}
+		keys[i] = c.Ints
+	}
+	perm := make([]int32, r.n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		px, py := perm[x], perm[y]
+		for _, k := range keys {
+			if k[px] != k[py] {
+				return k[px] < k[py]
+			}
+		}
+		return false
+	})
+	for i := range r.Cols {
+		r.Cols[i] = r.Cols[i].gather(perm)
+	}
+	r.sortOrder = append([]AttrID(nil), order...)
+	return nil
+}
+
+// SortedCopy returns a copy of the relation sorted by order, sharing no row
+// storage with the receiver. The receiver is left untouched.
+func (r *Relation) SortedCopy(order []AttrID) (*Relation, error) {
+	cp := &Relation{Name: r.Name, Attrs: append([]AttrID(nil), r.Attrs...), n: r.n}
+	cp.Cols = make([]Column, len(r.Cols))
+	for i, c := range r.Cols {
+		// Non-nil empty bases keep the column kind detectable when empty.
+		if c.IsInt() {
+			cp.Cols[i] = Column{Ints: append([]int64{}, c.Ints...)}
+		} else {
+			cp.Cols[i] = Column{Floats: append([]float64{}, c.Floats...)}
+		}
+	}
+	if err := cp.SortBy(order); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// DistinctCount returns the number of distinct values of a discrete
+// attribute, caching the result. It is the cardinality statistic behind the
+// MOO join-attribute order (paper §3.5: "increasing order in the domain
+// sizes").
+func (r *Relation) DistinctCount(id AttrID) int {
+	r.distinctMu.Lock()
+	if r.distinct == nil {
+		r.distinct = make(map[AttrID]int)
+	}
+	if n, ok := r.distinct[id]; ok {
+		r.distinctMu.Unlock()
+		return n
+	}
+	r.distinctMu.Unlock()
+
+	c, ok := r.Col(id)
+	if !ok || !c.IsInt() {
+		return 0
+	}
+	seen := make(map[int64]struct{}, 1024)
+	for _, v := range c.Ints {
+		seen[v] = struct{}{}
+	}
+	r.distinctMu.Lock()
+	r.distinct[id] = len(seen)
+	r.distinctMu.Unlock()
+	return len(seen)
+}
+
+// RowFloats copies row i into dst as float64s in schema order.
+func (r *Relation) RowFloats(i int, dst []float64) {
+	for j, c := range r.Cols {
+		dst[j] = c.Float(i)
+	}
+}

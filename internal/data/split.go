@@ -1,0 +1,63 @@
+package data
+
+import "fmt"
+
+// SplitRelation partitions a relation's rows by a predicate over one
+// discrete attribute, returning the (kept, held-out) halves. The learning
+// experiments use it to carve a test period off the fact table, as the paper
+// does ("the test data constitutes the sales in the last month", Appendix A).
+func SplitRelation(rel *Relation, attr AttrID, holdOut func(int64) bool) (train, test *Relation, err error) {
+	col, ok := rel.Col(attr)
+	if !ok {
+		return nil, nil, fmt.Errorf("data: split of %q: missing attribute %d", rel.Name, attr)
+	}
+	if !col.IsInt() {
+		return nil, nil, fmt.Errorf("data: split of %q: attribute %d is numeric", rel.Name, attr)
+	}
+	var trainIdx, testIdx []int32
+	for i, v := range col.Ints {
+		if holdOut(v) {
+			testIdx = append(testIdx, int32(i))
+		} else {
+			trainIdx = append(trainIdx, int32(i))
+		}
+	}
+	pick := func(name string, idx []int32) *Relation {
+		cols := make([]Column, len(rel.Cols))
+		for c, src := range rel.Cols {
+			cols[c] = src.gather(idx)
+		}
+		return NewRelation(name, append([]AttrID(nil), rel.Attrs...), cols)
+	}
+	return pick(rel.Name, trainIdx), pick(rel.Name+"_test", testIdx), nil
+}
+
+// SplitDatabase rebuilds db with relation splitName's rows partitioned by the
+// predicate: the returned train database replaces the relation with its kept
+// rows; the held-out rows are returned as a standalone relation for
+// evaluation.
+func SplitDatabase(db *Database, splitName string, attr AttrID, holdOut func(int64) bool) (*Database, *Relation, error) {
+	target := db.Relation(splitName)
+	if target == nil {
+		return nil, nil, fmt.Errorf("data: split: unknown relation %q", splitName)
+	}
+	train, test, err := SplitRelation(target, attr, holdOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := NewDatabase()
+	for i := 0; i < db.NumAttrs(); i++ {
+		a := db.Attribute(AttrID(i))
+		out.Attr(a.Name, a.Kind)
+	}
+	for _, rel := range db.Relations() {
+		r := rel
+		if rel.Name == splitName {
+			r = train
+		}
+		if err := out.AddRelation(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, test, nil
+}

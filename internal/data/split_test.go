@@ -1,0 +1,92 @@
+package data
+
+import "testing"
+
+func splitFixture(t *testing.T) (*Database, AttrID, AttrID) {
+	t.Helper()
+	db := NewDatabase()
+	date := db.Attr("date", Key)
+	x := db.Attr("x", Numeric)
+	rel := NewRelation("Sales", []AttrID{date, x}, []Column{
+		NewIntColumn([]int64{1, 2, 3, 4, 5, 6}),
+		NewFloatColumn([]float64{10, 20, 30, 40, 50, 60}),
+	})
+	if err := db.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	dim := NewRelation("Dates", []AttrID{date}, []Column{
+		NewIntColumn([]int64{1, 2, 3, 4, 5, 6}),
+	})
+	if err := db.AddRelation(dim); err != nil {
+		t.Fatal(err)
+	}
+	return db, date, x
+}
+
+func TestSplitRelation(t *testing.T) {
+	db, date, _ := splitFixture(t)
+	rel := db.Relation("Sales")
+	train, test, err := SplitRelation(rel, date, func(v int64) bool { return v > 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 4 || test.Len() != 2 {
+		t.Fatalf("split = %d/%d", train.Len(), test.Len())
+	}
+	// Payload moves with the rows.
+	c, _ := test.Col(1)
+	if c.Float(0) != 50 || c.Float(1) != 60 {
+		t.Fatalf("test payload = %v", c.Floats)
+	}
+	if test.Name != "Sales_test" {
+		t.Fatalf("test name = %q", test.Name)
+	}
+}
+
+func TestSplitRelationErrors(t *testing.T) {
+	db, _, x := splitFixture(t)
+	rel := db.Relation("Sales")
+	if _, _, err := SplitRelation(rel, x, func(int64) bool { return false }); err == nil {
+		t.Fatal("numeric split attribute accepted")
+	}
+	if _, _, err := SplitRelation(rel, AttrID(99), func(int64) bool { return false }); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+}
+
+func TestSplitDatabase(t *testing.T) {
+	db, date, _ := splitFixture(t)
+	train, test, err := SplitDatabase(db, "Sales", date, func(v int64) bool { return v >= 6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Relation("Sales").Len() != 5 {
+		t.Fatalf("train rows = %d", train.Relation("Sales").Len())
+	}
+	if test.Len() != 1 {
+		t.Fatalf("test rows = %d", test.Len())
+	}
+	// Untouched relations carry over.
+	if train.Relation("Dates").Len() != 6 {
+		t.Fatal("dimension relation modified")
+	}
+	// Attribute registry preserved.
+	if train.NumAttrs() != db.NumAttrs() {
+		t.Fatal("attribute registry lost")
+	}
+	if _, _, err := SplitDatabase(db, "Nope", date, func(int64) bool { return false }); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestSplitEmptySides(t *testing.T) {
+	db, date, _ := splitFixture(t)
+	rel := db.Relation("Sales")
+	train, test, err := SplitRelation(rel, date, func(int64) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 0 || test.Len() != 6 {
+		t.Fatalf("split = %d/%d", train.Len(), test.Len())
+	}
+}

@@ -1,0 +1,79 @@
+package jointree
+
+import "repro/internal/data"
+
+// Acyclic reports whether the schema hypergraph is α-acyclic, using the
+// GYO (Graham–Yu–Özsoyoğlu) ear-removal algorithm: repeatedly
+//
+//  1. delete attributes that occur in exactly one hyperedge, and
+//  2. delete hyperedges that are contained in another hyperedge,
+//
+// until no rule applies. The hypergraph is acyclic iff at most one (empty)
+// hyperedge remains.
+func Acyclic(edges [][]data.AttrID) bool {
+	// Work on attribute sets.
+	sets := make([]map[data.AttrID]bool, 0, len(edges))
+	for _, e := range edges {
+		s := make(map[data.AttrID]bool, len(e))
+		for _, a := range e {
+			s[a] = true
+		}
+		sets = append(sets, s)
+	}
+
+	for {
+		changed := false
+
+		// Rule 1: remove attributes unique to one edge.
+		count := make(map[data.AttrID]int)
+		for _, s := range sets {
+			for a := range s {
+				count[a]++
+			}
+		}
+		for _, s := range sets {
+			for a := range s {
+				if count[a] == 1 {
+					delete(s, a)
+					changed = true
+				}
+			}
+		}
+
+		// Rule 2: remove edges contained in another edge.
+		for i := 0; i < len(sets); i++ {
+			for j := 0; j < len(sets); j++ {
+				if i == j {
+					continue
+				}
+				if contains(sets[j], sets[i]) {
+					sets = append(sets[:i], sets[i+1:]...)
+					changed = true
+					i--
+					break
+				}
+			}
+		}
+
+		if len(sets) <= 1 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}
+
+// contains reports whether sub ⊆ super. An edge equal to another counts as
+// contained (GYO removes duplicates).
+func contains(super, sub map[data.AttrID]bool) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	for a := range sub {
+		if !super[a] {
+			return false
+		}
+	}
+	return true
+}

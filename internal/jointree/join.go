@@ -1,0 +1,137 @@
+package jointree
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// NaturalJoin materializes the natural join of two relations as a new
+// relation named name. Join attributes are the schema intersection and must
+// be discrete; with an empty intersection the result is the cross product.
+// It is used to materialize hypertree bags and by the baseline engine to
+// materialize full join results.
+func NaturalJoin(db *data.Database, left, right *data.Relation, name string) (*data.Relation, error) {
+	shared := intersect(sortedSchema(left), sortedSchema(right))
+	for _, a := range shared {
+		if !db.Attribute(a).Kind.Discrete() {
+			return nil, fmt.Errorf("join on numeric attribute %q", db.Attribute(a).Name)
+		}
+	}
+
+	// Build side: hash the smaller relation on the shared key.
+	build, probe := left, right
+	if right.Len() < left.Len() {
+		build, probe = right, left
+	}
+	buildKeyCols := make([][]int64, len(shared))
+	probeKeyCols := make([][]int64, len(shared))
+	for i, a := range shared {
+		buildKeyCols[i] = build.MustCol(a).Ints
+		probeKeyCols[i] = probe.MustCol(a).Ints
+	}
+	ht := make(map[string][]int32, build.Len())
+	buf := make([]byte, 0, 8*len(shared))
+	for i := 0; i < build.Len(); i++ {
+		buf = buf[:0]
+		for _, kc := range buildKeyCols {
+			buf = data.AppendKey(buf, kc[i])
+		}
+		k := string(buf)
+		ht[k] = append(ht[k], int32(i))
+	}
+
+	// Output schema: probe attrs then build-only attrs (stable, join keys
+	// appear once).
+	outAttrs := append([]data.AttrID(nil), probe.Attrs...)
+	var buildOnly []data.AttrID
+	for _, a := range build.Attrs {
+		if !hasAttr(shared, a) {
+			buildOnly = append(buildOnly, a)
+			outAttrs = append(outAttrs, a)
+		}
+	}
+
+	// Probe and emit row index pairs.
+	var probeIdx, buildIdx []int32
+	for i := 0; i < probe.Len(); i++ {
+		buf = buf[:0]
+		for _, kc := range probeKeyCols {
+			buf = data.AppendKey(buf, kc[i])
+		}
+		for _, bi := range ht[string(buf)] {
+			probeIdx = append(probeIdx, int32(i))
+			buildIdx = append(buildIdx, bi)
+		}
+	}
+
+	cols := make([]data.Column, 0, len(outAttrs))
+	for _, a := range probe.Attrs {
+		cols = append(cols, gatherCol(probe.MustCol(a), probeIdx))
+	}
+	for _, a := range buildOnly {
+		cols = append(cols, gatherCol(build.MustCol(a), buildIdx))
+	}
+	return data.NewRelation(name, outAttrs, cols), nil
+}
+
+// MaterializeAll joins every relation of the tree into one flat relation,
+// following tree edges so every intermediate join has shared keys. This is
+// the "training dataset materialization" step of the structure-agnostic
+// competitors (paper §4.2 and Table 1's "tuples in join result").
+func (t *Tree) MaterializeAll(name string) (*data.Relation, error) {
+	if len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("jointree: empty tree")
+	}
+	// Join in BFS order from node 0 so each new relation shares keys with
+	// the accumulated result.
+	visited := make([]bool, len(t.Nodes))
+	order := []int{0}
+	visited[0] = true
+	for qi := 0; qi < len(order); qi++ {
+		for _, v := range t.Adj[order[qi]] {
+			if !visited[v] {
+				visited[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	acc := t.Nodes[order[0]].Rel
+	for _, id := range order[1:] {
+		var err error
+		acc, err = NaturalJoin(t.DB, acc, t.Nodes[id].Rel, name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == t.Nodes[order[0]].Rel {
+		// Single-node tree: return a shallow copy with the new name so
+		// callers can mutate sort order safely.
+		acc = data.NewRelation(name, acc.Attrs, acc.Cols)
+	}
+	return acc, nil
+}
+
+func hasAttr(set []data.AttrID, a data.AttrID) bool {
+	for _, s := range set {
+		if s == a {
+			return true
+		}
+	}
+	return false
+}
+
+func gatherCol(c data.Column, idx []int32) data.Column {
+	if c.IsInt() {
+		out := make([]int64, len(idx))
+		for i, p := range idx {
+			out[i] = c.Ints[p]
+		}
+		return data.NewIntColumn(out)
+	}
+	out := make([]float64, len(idx))
+	for i, p := range idx {
+		out[i] = c.Floats[p]
+	}
+	return data.NewFloatColumn(out)
+}

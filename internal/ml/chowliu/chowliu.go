@@ -1,0 +1,168 @@
+// Package chowliu computes pairwise mutual information over the natural join
+// of a database and learns the structure of a tree-shaped Bayesian network
+// with the Chow-Liu algorithm (paper §2, eq. 7). The count statistics — the
+// 2-dimensional count data cubes over every attribute pair — form one
+// aggregate batch (the paper's "mutual information" workload); the
+// application layer evaluates the 4-ary MI function over the query results
+// and runs a maximum spanning tree.
+package chowliu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// MIBatch builds the count-query batch of eq. 7: the empty marginal, one
+// query per attribute and one per attribute pair.
+func MIBatch(attrs []data.AttrID) []*query.Query {
+	queries := []*query.Query{query.NewQuery("mi_total", nil, query.CountAgg())}
+	for _, a := range attrs {
+		queries = append(queries, query.NewQuery(
+			fmt.Sprintf("mi_%d", a), []data.AttrID{a}, query.CountAgg()))
+	}
+	for i, a := range attrs {
+		for _, b := range attrs[i+1:] {
+			queries = append(queries, query.NewQuery(
+				fmt.Sprintf("mi_%d_%d", a, b), []data.AttrID{a, b}, query.CountAgg()))
+		}
+	}
+	return queries
+}
+
+// Result holds the pairwise mutual-information matrix over Attrs.
+type Result struct {
+	Attrs []data.AttrID
+	// MI[i][j] is the mutual information of Attrs[i] and Attrs[j].
+	MI *linalg.Matrix
+	// Total is the join cardinality.
+	Total float64
+}
+
+// Compute runs the MI batch on the engine and evaluates the MI function
+// f(α,β,γ,δ) = δ/α · log(α·δ / (β·γ)) summed over all value pairs.
+func Compute(eng *moo.Engine, attrs []data.AttrID) (*Result, *moo.BatchResult, error) {
+	if len(attrs) < 2 {
+		return nil, nil, fmt.Errorf("chowliu: need at least 2 attributes, got %d", len(attrs))
+	}
+	for _, a := range attrs {
+		if !eng.DB().Attribute(a).Kind.Discrete() {
+			return nil, nil, fmt.Errorf("chowliu: attribute %q is numeric", eng.DB().Attribute(a).Name)
+		}
+	}
+	batch := MIBatch(attrs)
+	res, err := eng.Run(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Assemble(attrs, res.Results)
+	return out, res, err
+}
+
+// Assemble computes the MI matrix from the batch results (total, marginals,
+// pair counts — in MIBatch order).
+func Assemble(attrs []data.AttrID, results []*moo.ViewData) (*Result, error) {
+	n := len(attrs)
+	total := results[0].Val(0, 0)
+	r := &Result{Attrs: attrs, MI: linalg.NewMatrix(n, n), Total: total}
+	if total == 0 {
+		return r, nil
+	}
+
+	// Marginals: value → count per attribute.
+	marginals := make([]map[int64]float64, n)
+	for i := 0; i < n; i++ {
+		vd := results[1+i]
+		m := make(map[int64]float64, vd.NumRows())
+		for row := 0; row < vd.NumRows(); row++ {
+			m[vd.KeyAt(row, 0)] = vd.Val(row, 0)
+		}
+		marginals[i] = m
+	}
+
+	qi := 1 + n
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			vd := results[qi]
+			qi++
+			// The output view sorts group-by attributes by ID.
+			iCol, jCol := 0, 1
+			if attrs[j] < attrs[i] {
+				iCol, jCol = 1, 0
+			}
+			mi := 0.0
+			for row := 0; row < vd.NumRows(); row++ {
+				delta := vd.Val(row, 0)
+				if delta <= 0 {
+					continue
+				}
+				beta := marginals[i][vd.KeyAt(row, iCol)]
+				gamma := marginals[j][vd.KeyAt(row, jCol)]
+				mi += delta / total * math.Log(total*delta/(beta*gamma))
+			}
+			if mi < 0 {
+				mi = 0 // numerical noise on independent attributes
+			}
+			r.MI.Set(i, j, mi)
+			r.MI.Set(j, i, mi)
+		}
+	}
+	return r, nil
+}
+
+// Edge is one Chow-Liu tree edge between attribute indices (I < J).
+type Edge struct {
+	I, J   int
+	Weight float64
+}
+
+// ChowLiu computes the maximum spanning tree of the MI matrix (Prim), the
+// optimal tree-shaped Bayesian network approximation [Chow & Liu]. Edges are
+// returned in insertion order; ties break toward smaller indices for
+// determinism.
+func ChowLiu(r *Result) []Edge {
+	n := len(r.Attrs)
+	if n == 0 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	inTree[0] = true
+	var edges []Edge
+	for len(edges) < n-1 {
+		bestI, bestJ, bestW := -1, -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if inTree[j] {
+					continue
+				}
+				if w := r.MI.At(i, j); w > bestW {
+					bestI, bestJ, bestW = i, j, w
+				}
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		inTree[bestJ] = true
+		i, j := bestI, bestJ
+		if j < i {
+			i, j = j, i
+		}
+		edges = append(edges, Edge{I: i, J: j, Weight: bestW})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].I != edges[b].I {
+			return edges[a].I < edges[b].I
+		}
+		return edges[a].J < edges[b].J
+	})
+	return edges
+}

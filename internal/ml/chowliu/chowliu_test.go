@@ -1,0 +1,171 @@
+package chowliu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/moo"
+)
+
+// markovDB builds a single relation where x1 → x2 → x3 form a Markov chain
+// and x4 is independent noise.
+func markovDB(t *testing.T, n int) (*data.Database, []data.AttrID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	db := data.NewDatabase()
+	attrs := []data.AttrID{
+		db.Attr("x1", data.Categorical),
+		db.Attr("x2", data.Categorical),
+		db.Attr("x3", data.Categorical),
+		db.Attr("x4", data.Categorical),
+	}
+	cols := make([][]int64, 4)
+	for i := range cols {
+		cols[i] = make([]int64, n)
+	}
+	for r := 0; r < n; r++ {
+		x1 := int64(rng.Intn(3))
+		x2 := x1
+		if rng.Intn(10) == 0 { // 10% transition noise
+			x2 = int64(rng.Intn(3))
+		}
+		x3 := x2
+		if rng.Intn(10) == 0 {
+			x3 = int64(rng.Intn(3))
+		}
+		cols[0][r], cols[1][r], cols[2][r] = x1, x2, x3
+		cols[3][r] = int64(rng.Intn(3))
+	}
+	rel := data.NewRelation("R", attrs, []data.Column{
+		data.NewIntColumn(cols[0]), data.NewIntColumn(cols[1]),
+		data.NewIntColumn(cols[2]), data.NewIntColumn(cols[3])})
+	if err := db.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	return db, attrs
+}
+
+func newEng(t *testing.T, db *data.Database) *moo.Engine {
+	t.Helper()
+	eng, err := moo.NewEngine(db, moo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestMIBatchShape(t *testing.T) {
+	batch := MIBatch([]data.AttrID{1, 2, 3})
+	// 1 total + 3 marginals + 3 pairs.
+	if len(batch) != 7 {
+		t.Fatalf("batch = %d queries", len(batch))
+	}
+}
+
+func TestMIDetectsDependence(t *testing.T) {
+	db, attrs := markovDB(t, 3000)
+	res, _, err := Compute(newEng(t, db), attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent chain pairs carry high MI; the independent attribute low MI.
+	if res.MI.At(0, 1) < 0.5 {
+		t.Fatalf("MI(x1,x2) = %g, expected high", res.MI.At(0, 1))
+	}
+	if res.MI.At(0, 3) > 0.05 {
+		t.Fatalf("MI(x1,x4) = %g, expected near zero", res.MI.At(0, 3))
+	}
+	// Data-processing inequality: MI(x1,x3) < MI(x1,x2).
+	if res.MI.At(0, 2) >= res.MI.At(0, 1) {
+		t.Fatalf("MI(x1,x3)=%g not below MI(x1,x2)=%g", res.MI.At(0, 2), res.MI.At(0, 1))
+	}
+	// Symmetry and non-negativity.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if res.MI.At(i, j) != res.MI.At(j, i) {
+				t.Fatal("MI not symmetric")
+			}
+			if res.MI.At(i, j) < 0 {
+				t.Fatal("negative MI")
+			}
+		}
+	}
+}
+
+func TestMIMatchesBruteForce(t *testing.T) {
+	db, attrs := markovDB(t, 800)
+	res, _, err := Compute(newEng(t, db), attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := base.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force MI(x1, x2) from the flat data.
+	c1, _ := flat.Col(attrs[0])
+	c2, _ := flat.Col(attrs[1])
+	joint := map[[2]int64]float64{}
+	m1 := map[int64]float64{}
+	m2 := map[int64]float64{}
+	n := float64(flat.Len())
+	for i := 0; i < flat.Len(); i++ {
+		a, b := c1.Int(i), c2.Int(i)
+		joint[[2]int64{a, b}]++
+		m1[a]++
+		m2[b]++
+	}
+	want := 0.0
+	for k, d := range joint {
+		want += d / n * math.Log(n*d/(m1[k[0]]*m2[k[1]]))
+	}
+	if math.Abs(res.MI.At(0, 1)-want) > 1e-9 {
+		t.Fatalf("MI = %g, brute force %g", res.MI.At(0, 1), want)
+	}
+}
+
+func TestChowLiuRecoversChain(t *testing.T) {
+	db, attrs := markovDB(t, 4000)
+	res, _, err := Compute(newEng(t, db), attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := ChowLiu(res)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	// The chain edges (0,1) and (1,2) must be present; x4 attaches weakly
+	// anywhere.
+	has := map[[2]int]bool{}
+	for _, e := range edges {
+		has[[2]int{e.I, e.J}] = true
+	}
+	if !has[[2]int{0, 1}] || !has[[2]int{1, 2}] {
+		t.Fatalf("chain edges missing: %v", edges)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	db, attrs := markovDB(t, 50)
+	eng := newEng(t, db)
+	if _, _, err := Compute(eng, attrs[:1]); err == nil {
+		t.Fatal("single attribute accepted")
+	}
+	num := db.Attr("numeric", data.Numeric)
+	if _, _, err := Compute(eng, []data.AttrID{attrs[0], num}); err == nil {
+		t.Fatal("numeric attribute accepted")
+	}
+}
+
+func TestChowLiuEmptyAndTiny(t *testing.T) {
+	if got := ChowLiu(&Result{}); got != nil {
+		t.Fatal("empty result should give no edges")
+	}
+}

@@ -1,0 +1,178 @@
+// Package cube computes k-dimensional data cubes over the natural join of a
+// database (paper §2, eq. 6): the union of 2^k group-by aggregates, one per
+// subset of the dimension attributes, each summing the same measures. The
+// result is also exposed in the 1NF representation with the special ALL
+// value of Gray et al.
+package cube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// All is the sentinel dimension value standing for "all values" in the 1NF
+// cube representation.
+const All int64 = math.MinInt64
+
+// Spec configures a data cube.
+type Spec struct {
+	Dims     []data.AttrID
+	Measures []data.AttrID
+}
+
+// Validate checks attribute kinds.
+func (s Spec) Validate(db *data.Database) error {
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("cube: no dimensions")
+	}
+	if len(s.Dims) > 16 {
+		return fmt.Errorf("cube: %d dimensions would need %d queries", len(s.Dims), 1<<len(s.Dims))
+	}
+	for _, d := range s.Dims {
+		if !db.Attribute(d).Kind.Discrete() {
+			return fmt.Errorf("cube: dimension %q is numeric", db.Attribute(d).Name)
+		}
+	}
+	for _, m := range s.Measures {
+		if db.Attribute(m).Kind != data.Numeric {
+			return fmt.Errorf("cube: measure %q is not numeric", db.Attribute(m).Name)
+		}
+	}
+	return nil
+}
+
+// Batch builds the 2^k cube queries; query i groups by the dimension subset
+// whose bitmask is i, with a count plus one SUM per measure.
+func Batch(spec Spec) []*query.Query {
+	k := len(spec.Dims)
+	queries := make([]*query.Query, 0, 1<<k)
+	for mask := 0; mask < 1<<k; mask++ {
+		var gb []data.AttrID
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				gb = append(gb, spec.Dims[b])
+			}
+		}
+		aggs := []query.Aggregate{query.CountAgg()}
+		for _, m := range spec.Measures {
+			aggs = append(aggs, query.SumAgg(m))
+		}
+		queries = append(queries, query.NewQuery(fmt.Sprintf("cube_%b", mask), gb, aggs...))
+	}
+	return queries
+}
+
+// Cuboid is one of the 2^k group-by results.
+type Cuboid struct {
+	Mask int
+	Dims []data.AttrID
+	Data *moo.ViewData
+}
+
+// Result is a computed data cube.
+type Result struct {
+	Spec    Spec
+	Cuboids []Cuboid
+}
+
+// Compute runs the cube batch on the engine.
+func Compute(eng *moo.Engine, spec Spec) (*Result, *moo.BatchResult, error) {
+	if err := spec.Validate(eng.DB()); err != nil {
+		return nil, nil, err
+	}
+	batch := Batch(spec)
+	res, err := eng.Run(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Result{Spec: spec}
+	for mask, q := range batch {
+		out.Cuboids = append(out.Cuboids, Cuboid{
+			Mask: mask,
+			Dims: q.GroupBy,
+			Data: res.Results[mask],
+		})
+	}
+	return out, res, nil
+}
+
+// Row is one 1NF cube row: dimension values (All where aggregated away) and
+// the measure sums (count first).
+type Row struct {
+	Dims   []int64
+	Values []float64
+}
+
+// Flatten renders the cube in 1NF with the ALL sentinel, rows ordered by
+// cuboid mask then key.
+func (r *Result) Flatten() []Row {
+	k := len(r.Spec.Dims)
+	// Position of each dimension in the spec order.
+	pos := make(map[data.AttrID]int, k)
+	for i, d := range r.Spec.Dims {
+		pos[d] = i
+	}
+	var rows []Row
+	for _, c := range r.Cuboids {
+		for i := 0; i < c.Data.NumRows(); i++ {
+			dims := make([]int64, k)
+			for j := range dims {
+				dims[j] = All
+			}
+			for gi, attr := range c.Data.GroupBy {
+				dims[pos[attr]] = c.Data.KeyAt(i, gi)
+			}
+			vals := make([]float64, c.Data.Stride)
+			for v := 0; v < c.Data.Stride; v++ {
+				vals[v] = c.Data.Val(i, v)
+			}
+			rows = append(rows, Row{Dims: dims, Values: vals})
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for j := range rows[a].Dims {
+			if rows[a].Dims[j] != rows[b].Dims[j] {
+				return rows[a].Dims[j] < rows[b].Dims[j]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// Lookup returns the measures for one cell; pass All for aggregated-away
+// dimensions. The bool reports whether the cell exists.
+func (r *Result) Lookup(dims ...int64) ([]float64, bool) {
+	if len(dims) != len(r.Spec.Dims) {
+		return nil, false
+	}
+	mask := 0
+	for i, v := range dims {
+		if v != All {
+			mask |= 1 << i
+		}
+	}
+	c := r.Cuboids[mask]
+	var key []int64
+	for _, attr := range c.Data.GroupBy {
+		for i, d := range r.Spec.Dims {
+			if d == attr {
+				key = append(key, dims[i])
+			}
+		}
+	}
+	row := c.Data.Lookup(key...)
+	if row < 0 {
+		return nil, false
+	}
+	vals := make([]float64, c.Data.Stride)
+	for v := range vals {
+		vals[v] = c.Data.Val(row, v)
+	}
+	return vals, true
+}

@@ -1,0 +1,190 @@
+package cube
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/moo"
+)
+
+func cubeDB(t *testing.T, n int) (*data.Database, Spec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(51))
+	db := data.NewDatabase()
+	k := db.Attr("k", data.Key)
+	d1 := db.Attr("d1", data.Categorical)
+	d2 := db.Attr("d2", data.Categorical)
+	m1 := db.Attr("m1", data.Numeric)
+	m2 := db.Attr("m2", data.Numeric)
+
+	dom := 5
+	d2vals := make([]int64, dom)
+	for i := range d2vals {
+		d2vals[i] = int64(i % 2)
+	}
+	dim := data.NewRelation("Dim", []data.AttrID{k, d2}, []data.Column{
+		data.NewIntColumn(seq(dom)), data.NewIntColumn(d2vals)})
+	if err := db.AddRelation(dim); err != nil {
+		t.Fatal(err)
+	}
+	kv := make([]int64, n)
+	d1v := make([]int64, n)
+	m1v := make([]float64, n)
+	m2v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kv[i] = int64(rng.Intn(dom))
+		d1v[i] = int64(rng.Intn(3))
+		m1v[i] = float64(rng.Intn(10))
+		m2v[i] = rng.Float64()
+	}
+	fact := data.NewRelation("Fact", []data.AttrID{k, d1, m1, m2}, []data.Column{
+		data.NewIntColumn(kv), data.NewIntColumn(d1v),
+		data.NewFloatColumn(m1v), data.NewFloatColumn(m2v)})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	return db, Spec{Dims: []data.AttrID{d1, d2}, Measures: []data.AttrID{m1, m2}}
+}
+
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func compute(t *testing.T, db *data.Database, spec Spec) *Result {
+	t.Helper()
+	eng, err := moo.NewEngine(db, moo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Compute(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBatchSize(t *testing.T) {
+	_, spec := cubeDB(t, 10)
+	batch := Batch(spec)
+	if len(batch) != 4 { // 2^2 subsets
+		t.Fatalf("batch = %d", len(batch))
+	}
+	// Apex query has no group-by; full cuboid has both dims.
+	if len(batch[0].GroupBy) != 0 || len(batch[3].GroupBy) != 2 {
+		t.Fatal("subset masks wrong")
+	}
+	// Each query: count + 2 measures.
+	if len(batch[0].Aggs) != 3 {
+		t.Fatalf("aggs = %d", len(batch[0].Aggs))
+	}
+}
+
+func TestRollupConsistency(t *testing.T) {
+	db, spec := cubeDB(t, 200)
+	res := compute(t, db, spec)
+
+	// The apex count equals the sum over the full cuboid, and each
+	// 1-dimensional cuboid's counts sum to the apex too.
+	apex, ok := res.Lookup(All, All)
+	if !ok {
+		t.Fatal("apex missing")
+	}
+	for _, c := range res.Cuboids {
+		var sum float64
+		for i := 0; i < c.Data.NumRows(); i++ {
+			sum += c.Data.Val(i, 0)
+		}
+		if math.Abs(sum-apex[0]) > 1e-6 {
+			t.Fatalf("cuboid %b counts sum to %g, apex %g", c.Mask, sum, apex[0])
+		}
+	}
+	// Measures roll up as well.
+	for m := 1; m <= len(spec.Measures); m++ {
+		full := res.Cuboids[3]
+		var sum float64
+		for i := 0; i < full.Data.NumRows(); i++ {
+			sum += full.Data.Val(i, m)
+		}
+		if math.Abs(sum-apex[m]) > 1e-6 {
+			t.Fatalf("measure %d rolls to %g, apex %g", m, sum, apex[m])
+		}
+	}
+}
+
+func TestLookupCells(t *testing.T) {
+	db, spec := cubeDB(t, 150)
+	res := compute(t, db, spec)
+	// Σ over d1 of cell (d1, All) = apex.
+	apex, _ := res.Lookup(All, All)
+	var total float64
+	for v := int64(0); v < 3; v++ {
+		if vals, ok := res.Lookup(v, All); ok {
+			total += vals[0]
+		}
+	}
+	if math.Abs(total-apex[0]) > 1e-6 {
+		t.Fatalf("d1 marginals = %g, apex = %g", total, apex[0])
+	}
+	if _, ok := res.Lookup(99, All); ok {
+		t.Fatal("absent cell found")
+	}
+	if _, ok := res.Lookup(All); ok {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	db, spec := cubeDB(t, 100)
+	res := compute(t, db, spec)
+	rows := res.Flatten()
+	want := 0
+	for _, c := range res.Cuboids {
+		want += c.Data.NumRows()
+	}
+	if len(rows) != want {
+		t.Fatalf("flatten rows = %d, want %d", len(rows), want)
+	}
+	// Exactly one row is (All, All).
+	apexCount := 0
+	for _, r := range rows {
+		if r.Dims[0] == All && r.Dims[1] == All {
+			apexCount++
+		}
+		if len(r.Values) != 3 {
+			t.Fatalf("row values = %d", len(r.Values))
+		}
+	}
+	if apexCount != 1 {
+		t.Fatalf("apex rows = %d", apexCount)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	db, spec := cubeDB(t, 10)
+	bad := spec
+	bad.Dims = nil
+	if err := bad.Validate(db); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	bad2 := spec
+	bad2.Dims = []data.AttrID{spec.Measures[0]}
+	if err := bad2.Validate(db); err == nil {
+		t.Fatal("numeric dim accepted")
+	}
+	bad3 := spec
+	bad3.Measures = []data.AttrID{spec.Dims[0]}
+	if err := bad3.Validate(db); err == nil {
+		t.Fatal("discrete measure accepted")
+	}
+	bad4 := spec
+	bad4.Dims = make([]data.AttrID, 20)
+	if err := bad4.Validate(db); err == nil {
+		t.Fatal("17+ dims accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package linreg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// LearnMaterialized is the structure-agnostic competitor (the paper's
+// TensorFlow / scikit / R pipeline): it takes the materialized join result
+// and runs full-batch gradient descent by iterating over the flat rows for a
+// fixed number of epochs. Its cost is dominated by the per-epoch scan of the
+// (often much larger than the input database) training dataset.
+func LearnMaterialized(flat *data.Relation, db *data.Database, spec FeatureSpec, epochs int, step float64) (*Model, error) {
+	if err := spec.Validate(db); err != nil {
+		return nil, err
+	}
+	if flat.Len() == 0 {
+		return nil, fmt.Errorf("linreg: empty training dataset")
+	}
+
+	// Discover the one-hot universe with a first scan (this is the
+	// "one-hot encoding" step that exhausts memory in the paper's scikit
+	// runs; we at least stream it).
+	features := []Feature{{Name: "intercept", Attr: -1, Cat: -1, Intercept: true}}
+	for _, c := range spec.Continuous {
+		features = append(features, Feature{Name: db.Attribute(c).Name, Attr: c, Cat: -1})
+	}
+	catIdx := map[data.AttrID]map[int64]int{}
+	for _, cat := range spec.Categorical {
+		col, ok := flat.Col(cat)
+		if !ok {
+			return nil, fmt.Errorf("linreg: categorical %d missing from join", cat)
+		}
+		vals := map[int64]bool{}
+		for i := 0; i < flat.Len(); i++ {
+			vals[col.Int(i)] = true
+		}
+		sorted := make([]int64, 0, len(vals))
+		for v := range vals {
+			sorted = append(sorted, v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		m := map[int64]int{}
+		for _, v := range sorted {
+			m[v] = len(features)
+			features = append(features, Feature{
+				Name: fmt.Sprintf("%s=%d", db.Attribute(cat).Name, v),
+				Attr: cat, Cat: v,
+			})
+		}
+		catIdx[cat] = m
+	}
+	labelIdx := len(features)
+	features = append(features, Feature{Name: db.Attribute(spec.Label).Name, Attr: spec.Label, Cat: -1})
+
+	contCols := make([]data.Column, len(spec.Continuous))
+	for i, c := range spec.Continuous {
+		col, ok := flat.Col(c)
+		if !ok {
+			return nil, fmt.Errorf("linreg: continuous %d missing from join", c)
+		}
+		contCols[i] = col
+	}
+	catCols := make([]data.Column, len(spec.Categorical))
+	for i, c := range spec.Categorical {
+		catCols[i], _ = flat.Col(c)
+	}
+	labelCol, ok := flat.Col(spec.Label)
+	if !ok {
+		return nil, fmt.Errorf("linreg: label missing from join")
+	}
+
+	d := len(features)
+	theta := make([]float64, d)
+	grad := make([]float64, d)
+	n := float64(flat.Len())
+	x := make([]float64, d) // dense row buffer
+
+	for ep := 0; ep < epochs; ep++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		for r := 0; r < flat.Len(); r++ {
+			// Materialize the one-hot encoded row.
+			for i := range x {
+				x[i] = 0
+			}
+			x[0] = 1
+			for ci, col := range contCols {
+				x[1+ci] = col.Float(r)
+			}
+			for ci, col := range catCols {
+				if fi, okc := catIdx[spec.Categorical[ci]][col.Int(r)]; okc {
+					x[fi] = 1
+				}
+			}
+			pred := 0.0
+			for i, xi := range x {
+				if xi != 0 {
+					pred += theta[i] * xi
+				}
+			}
+			err := pred - labelCol.Float(r)
+			for i, xi := range x {
+				if xi != 0 {
+					grad[i] += err * xi
+				}
+			}
+		}
+		for i := 1; i < d; i++ {
+			if i != labelIdx {
+				grad[i] = grad[i]/n + spec.Lambda*theta[i]
+			}
+		}
+		grad[0] /= n
+		grad[labelIdx] = 0
+		for i := range theta {
+			theta[i] -= step * grad[i]
+		}
+	}
+	return &Model{Spec: spec, Features: features, Theta: theta, Iterations: epochs}, nil
+}

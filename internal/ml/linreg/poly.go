@@ -1,0 +1,179 @@
+package linreg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// Polynomial regression of degree 2 (paper §2, "Higher-degree Regression
+// Models", eq. 5): the model is linear in the monomials of degree ≤ 2 over
+// the continuous features, so its covar matrix needs aggregates
+// SUM(X1^a1·…·Xn^an·Y^a) for all exponent vectors with Σa ≤ 2d = 4. The
+// whole matrix is still one aggregate batch over the join.
+
+// Monomial is one polynomial feature Π attrs (degree = len(Attrs); the empty
+// monomial is the intercept). Attrs may repeat for squares.
+type Monomial struct {
+	Attrs []data.AttrID
+	Name  string
+}
+
+// PolySpec declares a degree-2 polynomial regression model.
+type PolySpec struct {
+	Continuous []data.AttrID
+	Label      data.AttrID
+	Lambda     float64
+}
+
+// Validate checks attribute kinds.
+func (s PolySpec) Validate(db *data.Database) error {
+	base := FeatureSpec{Continuous: s.Continuous, Label: s.Label, Lambda: s.Lambda}
+	return base.Validate(db)
+}
+
+// Monomials enumerates the model's features: 1, Xi, Xi·Xj (i ≤ j).
+func (s PolySpec) Monomials(db *data.Database) []Monomial {
+	out := []Monomial{{Name: "intercept"}}
+	for _, a := range s.Continuous {
+		out = append(out, Monomial{Attrs: []data.AttrID{a}, Name: db.Attribute(a).Name})
+	}
+	for i, a := range s.Continuous {
+		for _, b := range s.Continuous[i:] {
+			out = append(out, Monomial{
+				Attrs: []data.AttrID{a, b},
+				Name:  db.Attribute(a).Name + "*" + db.Attribute(b).Name,
+			})
+		}
+	}
+	return out
+}
+
+// PolyBatch builds the single scalar query holding every covar entry
+// SUM(mi·mj) over monomial pairs plus the label interactions SUM(mi·Y) and
+// SUM(Y²). Structurally identical aggregates (e.g. (X1)·(X1·X2) and
+// (X1·X2)·(X1)) deduplicate in the engine's merge layer.
+func PolyBatch(db *data.Database, s PolySpec) ([]*query.Query, []Monomial) {
+	ms := s.Monomials(db)
+	var aggs []query.Aggregate
+	prod := func(a, b []data.AttrID) query.Aggregate {
+		attrs := append(append([]data.AttrID{}, a...), b...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+		if len(attrs) == 0 {
+			return query.CountAgg()
+		}
+		fs := make([]query.Factor, len(attrs))
+		names := make([]string, len(attrs))
+		for i, at := range attrs {
+			fs[i] = query.IdentF(at)
+			names[i] = fmt.Sprint(at)
+		}
+		return query.NewAggregate("m:"+fmt.Sprint(names), query.NewTerm(fs...))
+	}
+	for i := range ms {
+		for j := i; j < len(ms); j++ {
+			aggs = append(aggs, prod(ms[i].Attrs, ms[j].Attrs))
+		}
+	}
+	label := []data.AttrID{s.Label}
+	for i := range ms {
+		aggs = append(aggs, prod(ms[i].Attrs, label))
+	}
+	aggs = append(aggs, prod(label, label))
+	return []*query.Query{query.NewQuery("poly_covar", nil, aggs...)}, ms
+}
+
+// PolyModel is a trained degree-2 polynomial regression model.
+type PolyModel struct {
+	Spec      PolySpec
+	Monomials []Monomial
+	Theta     []float64
+}
+
+// LearnPolynomial computes the polynomial covar matrix with one batch and
+// solves the ridge normal equations over the monomial feature space.
+func LearnPolynomial(eng *moo.Engine, s PolySpec) (*PolyModel, error) {
+	if err := s.Validate(eng.DB()); err != nil {
+		return nil, err
+	}
+	batch, ms := PolyBatch(eng.DB(), s)
+	res, err := eng.Run(batch)
+	if err != nil {
+		return nil, err
+	}
+	vd := res.Results[0]
+	d := len(ms)
+	a := linalg.NewMatrix(d, d)
+	b := make([]float64, d)
+	col := 0
+	var count float64
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := vd.Val(0, col)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+			col++
+			if i == 0 && j == 0 {
+				count = v
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		b[i] = vd.Val(0, col)
+		col++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("linreg: empty training set")
+	}
+	for i := 1; i < d; i++ { // intercept unpenalized
+		a.Add(i, i, count*s.Lambda)
+	}
+	theta, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("linreg: polynomial normal equations: %w (try a larger Lambda)", err)
+	}
+	return &PolyModel{Spec: s, Monomials: ms, Theta: theta}, nil
+}
+
+// PredictRow evaluates the model on row i of a materialized join result.
+func (m *PolyModel) PredictRow(flat *data.Relation, i int) (float64, error) {
+	pred := 0.0
+	for fi, mono := range m.Monomials {
+		v := 1.0
+		for _, a := range mono.Attrs {
+			c, ok := flat.Col(a)
+			if !ok {
+				return 0, fmt.Errorf("linreg: attribute %d missing", a)
+			}
+			v *= c.Float(i)
+		}
+		pred += m.Theta[fi] * v
+	}
+	return pred, nil
+}
+
+// RMSE computes root-mean-square error over a materialized join result.
+func (m *PolyModel) RMSE(flat *data.Relation) (float64, error) {
+	label, ok := flat.Col(m.Spec.Label)
+	if !ok {
+		return 0, fmt.Errorf("linreg: label missing")
+	}
+	if flat.Len() == 0 {
+		return 0, nil
+	}
+	var sse float64
+	for i := 0; i < flat.Len(); i++ {
+		p, err := m.PredictRow(flat, i)
+		if err != nil {
+			return 0, err
+		}
+		d := p - label.Float(i)
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(flat.Len())), nil
+}

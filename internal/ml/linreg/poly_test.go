@@ -1,0 +1,145 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/moo"
+)
+
+// polyDB: y = 2 + 0.5·x1 − 0.25·x1² + x1·x2 with small noise, x2 joined in.
+func polyDB(t *testing.T, n int) (*data.Database, PolySpec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	db := data.NewDatabase()
+	k := db.Attr("k", data.Key)
+	x1 := db.Attr("x1", data.Numeric)
+	x2 := db.Attr("x2", data.Numeric)
+	y := db.Attr("y", data.Numeric)
+
+	dom := 6
+	dimX2 := make([]float64, dom)
+	for i := range dimX2 {
+		dimX2[i] = float64(i)*0.4 - 1
+	}
+	dim := data.NewRelation("Dim", []data.AttrID{k, x2}, []data.Column{
+		data.NewIntColumn(seq(dom)), data.NewFloatColumn(dimX2)})
+	if err := db.AddRelation(dim); err != nil {
+		t.Fatal(err)
+	}
+	kv := make([]int64, n)
+	x1v := make([]float64, n)
+	yv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kv[i] = int64(rng.Intn(dom))
+		x1v[i] = rng.NormFloat64()
+		x2i := dimX2[kv[i]]
+		yv[i] = 2 + 0.5*x1v[i] - 0.25*x1v[i]*x1v[i] + x1v[i]*x2i + 0.01*rng.NormFloat64()
+	}
+	fact := data.NewRelation("Fact", []data.AttrID{k, x1, y}, []data.Column{
+		data.NewIntColumn(kv), data.NewFloatColumn(x1v), data.NewFloatColumn(yv)})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	return db, PolySpec{Continuous: []data.AttrID{x1, x2}, Label: y, Lambda: 1e-7}
+}
+
+func TestPolyMonomialCount(t *testing.T) {
+	db, spec := polyDB(t, 10)
+	ms := spec.Monomials(db)
+	// 1 + n + n(n+1)/2 with n=2 → 1+2+3 = 6.
+	if len(ms) != 6 {
+		t.Fatalf("monomials = %d", len(ms))
+	}
+	batch, _ := PolyBatch(db, spec)
+	if len(batch) != 1 {
+		t.Fatalf("poly batch = %d queries", len(batch))
+	}
+	// d(d+1)/2 pairs + d label entries + label² = 21 + 6 + 1.
+	if len(batch[0].Aggs) != 28 {
+		t.Fatalf("aggs = %d", len(batch[0].Aggs))
+	}
+}
+
+func TestPolynomialRecoversModel(t *testing.T) {
+	db, spec := polyDB(t, 800)
+	eng, err := moo.NewEngine(db, moo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LearnPolynomial(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monomial order: [1, x1, x2, x1², x1·x2, x2²].
+	want := map[string]float64{
+		"intercept": 2,
+		"x1":        0.5,
+		"x1*x1":     -0.25,
+		"x1*x2":     1,
+		"x2":        0,
+		"x2*x2":     0,
+	}
+	for i, mono := range m.Monomials {
+		if w, ok := want[mono.Name]; ok {
+			if math.Abs(m.Theta[i]-w) > 0.05 {
+				t.Errorf("theta[%s] = %g, want %g", mono.Name, m.Theta[i], w)
+			}
+		}
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := base.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := m.RMSE(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.05 {
+		t.Fatalf("RMSE = %g", rmse)
+	}
+	// A purely linear model cannot fit this data as well.
+	lin, err := LearnClosedForm(mustCovar(t, eng, FeatureSpec{
+		Continuous: spec.Continuous, Label: spec.Label, Lambda: 1e-7,
+	}), FeatureSpec{Continuous: spec.Continuous, Label: spec.Label, Lambda: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linRMSE, err := lin.RMSE(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linRMSE < 2*rmse {
+		t.Fatalf("linear RMSE %g should be far above polynomial %g", linRMSE, rmse)
+	}
+}
+
+func mustCovar(t *testing.T, eng *moo.Engine, spec FeatureSpec) *CovarMatrix {
+	t.Helper()
+	cm, _, err := BuildCovar(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestPolynomialValidation(t *testing.T) {
+	db, spec := polyDB(t, 10)
+	eng, err := moo.NewEngine(db, moo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := spec
+	bad.Label = spec.Continuous[0]
+	bad.Continuous = []data.AttrID{0} // key attribute
+	if _, err := LearnPolynomial(eng, bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

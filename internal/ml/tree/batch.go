@@ -1,0 +1,188 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// NodeBatch builds the aggregate batch that evaluates every candidate split
+// of one tree node whose fragment is defined by conds (paper equations 8–10).
+// For regression the batch is one scalar query carrying COUNT, SUM(Y),
+// SUM(Y²) — each also multiplied by 1_{X≤t} for every continuous candidate —
+// plus one group-by query per categorical attribute. For classification the
+// statistics group by the label instead.
+func NodeBatch(spec Spec, conds []Condition, thresholds map[data.AttrID][]float64) []*query.Query {
+	alpha := make([]query.Factor, len(conds))
+	for i, c := range conds {
+		alpha[i] = c.Factor()
+	}
+	prod := func(extra ...query.Factor) query.Term {
+		fs := append(append([]query.Factor(nil), alpha...), extra...)
+		return query.NewTerm(fs...)
+	}
+
+	var queries []*query.Query
+	switch spec.Task {
+	case Regression:
+		aggs := []query.Aggregate{
+			query.NewAggregate("n", prod()),
+			query.NewAggregate("sy", prod(query.IdentF(spec.Label))),
+			query.NewAggregate("syy", prod(query.PowF(spec.Label, 2))),
+		}
+		for _, attr := range spec.Continuous {
+			if attr == spec.Label {
+				continue
+			}
+			for ti, t := range thresholds[attr] {
+				ind := query.IndicatorF(attr, query.LE, t)
+				aggs = append(aggs,
+					query.NewAggregate(fmt.Sprintf("n_%d_%d", attr, ti), prod(ind)),
+					query.NewAggregate(fmt.Sprintf("sy_%d_%d", attr, ti), prod(ind, query.IdentF(spec.Label))),
+					query.NewAggregate(fmt.Sprintf("syy_%d_%d", attr, ti), prod(ind, query.PowF(spec.Label, 2))),
+				)
+			}
+		}
+		queries = append(queries, query.NewQuery("rt_node", nil, aggs...))
+		for _, attr := range spec.Categorical {
+			queries = append(queries, query.NewQuery(
+				fmt.Sprintf("rt_cat_%d", attr), []data.AttrID{attr},
+				query.NewAggregate("n", prod()),
+				query.NewAggregate("sy", prod(query.IdentF(spec.Label))),
+				query.NewAggregate("syy", prod(query.PowF(spec.Label, 2))),
+			))
+		}
+	case Classification:
+		aggs := []query.Aggregate{query.NewAggregate("n", prod())}
+		for _, attr := range spec.Continuous {
+			for ti, t := range thresholds[attr] {
+				ind := query.IndicatorF(attr, query.LE, t)
+				aggs = append(aggs, query.NewAggregate(
+					fmt.Sprintf("n_%d_%d", attr, ti), prod(ind)))
+			}
+		}
+		queries = append(queries, query.NewQuery("ct_node", []data.AttrID{spec.Label}, aggs...))
+		// The paper's eq. (10): total counts without the label group-by.
+		queries = append(queries, query.NewQuery("ct_total", nil,
+			query.NewAggregate("n", prod())))
+		for _, attr := range spec.Categorical {
+			if attr == spec.Label {
+				continue
+			}
+			queries = append(queries, query.NewQuery(
+				fmt.Sprintf("ct_cat_%d", attr), []data.AttrID{attr, spec.Label},
+				query.NewAggregate("n", prod())))
+		}
+	}
+	return queries
+}
+
+// Thresholds computes the candidate split thresholds for every continuous
+// attribute from its base relation column (equal-frequency buckets).
+func Thresholds(db *data.Database, spec Spec) (map[data.AttrID][]float64, error) {
+	out := make(map[data.AttrID][]float64, len(spec.Continuous))
+	for _, attr := range spec.Continuous {
+		var col data.Column
+		found := false
+		for _, rel := range db.Relations() {
+			if c, ok := rel.Col(attr); ok {
+				col = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("tree: attribute %q in no relation", db.Attribute(attr).Name)
+		}
+		out[attr] = quantileThresholds(col.Floats, spec.Buckets)
+	}
+	return out, nil
+}
+
+// nodeStats aggregates one fragment: regression moments or per-class counts.
+type nodeStats struct {
+	count, sum, sumSq float64
+	classCounts       []float64
+}
+
+func (s nodeStats) minus(l nodeStats) nodeStats {
+	r := nodeStats{count: s.count - l.count, sum: s.sum - l.sum, sumSq: s.sumSq - l.sumSq}
+	if s.classCounts != nil {
+		r.classCounts = make([]float64, len(s.classCounts))
+		for i := range r.classCounts {
+			r.classCounts[i] = s.classCounts[i] - l.classCounts[i]
+		}
+		r.count = 0
+		for _, c := range r.classCounts {
+			r.count += c
+		}
+	}
+	return r
+}
+
+func (s nodeStats) cost(spec Spec) float64 {
+	if spec.Task == Regression {
+		return variance(s.count, s.sum, s.sumSq)
+	}
+	return impurity(spec.Cost, s.classCounts)
+}
+
+func (s nodeStats) prediction(spec Spec, classes []int64) float64 {
+	if spec.Task == Regression {
+		if s.count == 0 {
+			return 0
+		}
+		return s.sum / s.count
+	}
+	best, bestCount := 0, -1.0
+	for i, c := range s.classCounts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if len(classes) == 0 {
+		return 0
+	}
+	return float64(classes[best])
+}
+
+// candidate couples a condition with its left-fragment statistics.
+type candidate struct {
+	cond Condition
+	left nodeStats
+}
+
+// chooseSplit picks the candidate minimizing summed child cost, requiring
+// both children non-empty and a strict improvement over the node cost. The
+// deterministic candidate order makes the engine-based and materialized
+// learners produce identical trees.
+func chooseSplit(spec Spec, node nodeStats, cands []candidate) (best *candidate, bestCost float64) {
+	nodeCost := node.cost(spec)
+	bestCost = nodeCost - 1e-9
+	for i := range cands {
+		l := cands[i].left
+		r := node.minus(l)
+		if l.count < 1 || r.count < 1 {
+			continue
+		}
+		c := l.cost(spec) + r.cost(spec)
+		if c < bestCost {
+			bestCost = c
+			best = &cands[i]
+		}
+	}
+	return best, bestCost
+}
+
+// classIndex builds a deterministic class list and code → index map.
+func classIndex(codes []int64) ([]int64, map[int64]int) {
+	sorted := append([]int64(nil), codes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := make(map[int64]int, len(sorted))
+	for i, c := range sorted {
+		idx[c] = i
+	}
+	return sorted, idx
+}

@@ -1,0 +1,247 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// Learn grows a CART tree using the LMFAO engine: every node evaluation is
+// one aggregate batch over the input database; the training dataset is never
+// materialized.
+func Learn(eng *moo.Engine, spec Spec) (*Model, error) {
+	spec.normalize()
+	if err := spec.Validate(eng.DB()); err != nil {
+		return nil, err
+	}
+	thresholds, err := Thresholds(eng.DB(), spec)
+	if err != nil {
+		return nil, err
+	}
+	l := &engineLearner{eng: eng, spec: spec, thresholds: thresholds}
+	root, classes, err := l.rootStats()
+	if err != nil {
+		return nil, err
+	}
+	l.classes = classes
+	m := &Model{Spec: spec, Classes: classes}
+	m.Root, err = l.grow(nil, root, 0)
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		count++
+		if !n.IsLeaf() {
+			walk(n.Left)
+			walk(n.Right)
+		}
+	}
+	walk(m.Root)
+	m.Nodes = count
+	return m, nil
+}
+
+type engineLearner struct {
+	eng        *moo.Engine
+	spec       Spec
+	thresholds map[data.AttrID][]float64
+	classes    []int64
+	classIdx   map[int64]int
+}
+
+// rootStats evaluates the unconditioned node statistics and, for
+// classification, discovers the label classes.
+func (l *engineLearner) rootStats() (nodeStats, []int64, error) {
+	if l.spec.Task == Regression {
+		res, err := l.eng.Run([]*query.Query{query.NewQuery("rt_root", nil,
+			query.CountAgg(),
+			query.SumAgg(l.spec.Label),
+			query.SumPowAgg(l.spec.Label, 2))})
+		if err != nil {
+			return nodeStats{}, nil, err
+		}
+		vd := res.Results[0]
+		return nodeStats{count: vd.Val(0, 0), sum: vd.Val(0, 1), sumSq: vd.Val(0, 2)}, nil, nil
+	}
+	res, err := l.eng.Run([]*query.Query{query.NewQuery("ct_root",
+		[]data.AttrID{l.spec.Label}, query.CountAgg())})
+	if err != nil {
+		return nodeStats{}, nil, err
+	}
+	vd := res.Results[0]
+	codes := make([]int64, vd.NumRows())
+	for i := range codes {
+		codes[i] = vd.KeyAt(i, 0)
+	}
+	classes, idx := classIndex(codes)
+	l.classIdx = idx
+	st := nodeStats{classCounts: make([]float64, len(classes))}
+	for i := 0; i < vd.NumRows(); i++ {
+		c := vd.Val(i, 0)
+		st.classCounts[idx[vd.KeyAt(i, 0)]] = c
+		st.count += c
+	}
+	return st, classes, nil
+}
+
+// grow builds the subtree for the fragment defined by conds, whose
+// statistics are already known.
+func (l *engineLearner) grow(conds []Condition, stats nodeStats, depth int) (*Node, error) {
+	node := &Node{
+		Prediction: stats.prediction(l.spec, l.classes),
+		Count:      stats.count,
+		Cost:       stats.cost(l.spec),
+		Depth:      depth,
+	}
+	if depth >= l.spec.MaxDepth || stats.count < float64(l.spec.MinSplit) || node.Cost <= 1e-12 {
+		return node, nil
+	}
+	cands, err := l.candidates(conds)
+	if err != nil {
+		return nil, err
+	}
+	best, _ := chooseSplit(l.spec, stats, cands)
+	if best == nil {
+		return node, nil
+	}
+	cond := best.cond
+	node.SplitCond = &cond
+	left, err := l.grow(append(append([]Condition(nil), conds...), cond),
+		best.left, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	right, err := l.grow(append(append([]Condition(nil), conds...), cond.Negated()),
+		stats.minus(best.left), depth+1)
+	if err != nil {
+		return nil, err
+	}
+	node.Left, node.Right = left, right
+	return node, nil
+}
+
+// candidates runs the node batch and decodes every candidate's left-side
+// statistics.
+func (l *engineLearner) candidates(conds []Condition) ([]candidate, error) {
+	batch := NodeBatch(l.spec, conds, l.thresholds)
+	res, err := l.eng.Run(batch)
+	if err != nil {
+		return nil, err
+	}
+	var cands []candidate
+	switch l.spec.Task {
+	case Regression:
+		vd := res.Results[0]
+		if vd.NumRows() != 1 {
+			return nil, fmt.Errorf("tree: node query returned %d rows", vd.NumRows())
+		}
+		col := 3
+		for _, attr := range l.spec.Continuous {
+			if attr == l.spec.Label {
+				continue
+			}
+			for _, t := range l.thresholds[attr] {
+				cands = append(cands, candidate{
+					cond: Condition{Attr: attr, Continuous: true, Op: query.LE, Threshold: t},
+					left: nodeStats{count: vd.Val(0, col), sum: vd.Val(0, col+1), sumSq: vd.Val(0, col+2)},
+				})
+				col += 3
+			}
+		}
+		for qi, attr := range l.spec.Categorical {
+			cvd := res.Results[1+qi]
+			// Sort categories so the candidate order matches the
+			// materialized learner exactly.
+			rowOf := map[int64]int{}
+			var order []int64
+			for r := 0; r < cvd.NumRows(); r++ {
+				c := cvd.KeyAt(r, 0)
+				rowOf[c] = r
+				order = append(order, c)
+			}
+			sortInt64s(order)
+			for _, c := range order {
+				r := rowOf[c]
+				cands = append(cands, candidate{
+					cond: Condition{Attr: attr, Op: query.EQ, Threshold: float64(c)},
+					left: nodeStats{count: cvd.Val(r, 0), sum: cvd.Val(r, 1), sumSq: cvd.Val(r, 2)},
+				})
+			}
+		}
+	case Classification:
+		nc := len(l.classes)
+		vd := res.Results[0] // group-by label
+		col := 1
+		for _, attr := range l.spec.Continuous {
+			for _, t := range l.thresholds[attr] {
+				left := nodeStats{classCounts: make([]float64, nc)}
+				for r := 0; r < vd.NumRows(); r++ {
+					ci, ok := l.classIdx[vd.KeyAt(r, 0)]
+					if !ok {
+						continue
+					}
+					v := vd.Val(r, col)
+					left.classCounts[ci] += v
+					left.count += v
+				}
+				cands = append(cands, candidate{
+					cond: Condition{Attr: attr, Continuous: true, Op: query.LE, Threshold: t},
+					left: left,
+				})
+				col++
+			}
+		}
+		// Categorical: group-by (attr, label) counts; attr/label column
+		// order follows sorted attribute IDs in the output view.
+		qi := 2
+		for _, attr := range l.spec.Categorical {
+			if attr == l.spec.Label {
+				continue
+			}
+			cvd := res.Results[qi]
+			qi++
+			attrCol, labelCol := 0, 1
+			if l.spec.Label < attr {
+				attrCol, labelCol = 1, 0
+			}
+			byCat := map[int64]*nodeStats{}
+			var order []int64
+			for r := 0; r < cvd.NumRows(); r++ {
+				cat := cvd.KeyAt(r, attrCol)
+				st, ok := byCat[cat]
+				if !ok {
+					st = &nodeStats{classCounts: make([]float64, nc)}
+					byCat[cat] = st
+					order = append(order, cat)
+				}
+				ci, ok := l.classIdx[cvd.KeyAt(r, labelCol)]
+				if !ok {
+					continue
+				}
+				v := cvd.Val(r, 0)
+				st.classCounts[ci] += v
+				st.count += v
+			}
+			sortInt64s(order)
+			for _, cat := range order {
+				cands = append(cands, candidate{
+					cond: Condition{Attr: attr, Op: query.EQ, Threshold: float64(cat)},
+					left: *byCat[cat],
+				})
+			}
+		}
+	}
+	return cands, nil
+}
+
+func sortInt64s(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

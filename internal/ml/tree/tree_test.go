@@ -1,0 +1,428 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// regressionDB: y is piecewise on x (split at 5) with a categorical shift,
+// joined across two relations.
+func regressionDB(t *testing.T, n int) (*data.Database, Spec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	db := data.NewDatabase()
+	k := db.Attr("k", data.Key)
+	x := db.Attr("x", data.Numeric)
+	c := db.Attr("c", data.Categorical)
+	y := db.Attr("y", data.Numeric)
+	z := db.Attr("z", data.Numeric)
+
+	dom := 6
+	dimZ := make([]float64, dom)
+	for i := range dimZ {
+		dimZ[i] = float64(i)
+	}
+	dim := data.NewRelation("Dim", []data.AttrID{k, z}, []data.Column{
+		data.NewIntColumn(seqKeys(dom)), data.NewFloatColumn(dimZ)})
+	if err := db.AddRelation(dim); err != nil {
+		t.Fatal(err)
+	}
+	kv := make([]int64, n)
+	xv := make([]float64, n)
+	cv := make([]int64, n)
+	yv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kv[i] = int64(rng.Intn(dom))
+		xv[i] = rng.Float64() * 10
+		cv[i] = int64(rng.Intn(3))
+		if xv[i] <= 5 {
+			yv[i] = 10
+		} else {
+			yv[i] = -10
+		}
+		if cv[i] == 2 {
+			yv[i] += 6
+		}
+		yv[i] += 0.01 * rng.NormFloat64()
+	}
+	fact := data.NewRelation("Fact", []data.AttrID{k, x, c, y}, []data.Column{
+		data.NewIntColumn(kv), data.NewFloatColumn(xv),
+		data.NewIntColumn(cv), data.NewFloatColumn(yv)})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSpec(Regression, y)
+	spec.Continuous = []data.AttrID{x, z}
+	spec.Categorical = []data.AttrID{c}
+	spec.MinSplit = 20
+	spec.MaxDepth = 3
+	return db, spec
+}
+
+// classificationDB: label determined by a categorical attribute in a joined
+// dimension plus a continuous threshold.
+func classificationDB(t *testing.T, n int) (*data.Database, Spec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	db := data.NewDatabase()
+	k := db.Attr("k", data.Key)
+	g := db.Attr("g", data.Categorical) // in dimension
+	x := db.Attr("x", data.Numeric)
+	label := db.Attr("label", data.Categorical)
+
+	dom := 9
+	gv := make([]int64, dom)
+	for i := range gv {
+		gv[i] = int64(i % 3)
+	}
+	dim := data.NewRelation("Dim", []data.AttrID{k, g}, []data.Column{
+		data.NewIntColumn(seqKeys(dom)), data.NewIntColumn(gv)})
+	if err := db.AddRelation(dim); err != nil {
+		t.Fatal(err)
+	}
+	kv := make([]int64, n)
+	xv := make([]float64, n)
+	lv := make([]int64, n)
+	for i := 0; i < n; i++ {
+		kv[i] = int64(rng.Intn(dom))
+		xv[i] = rng.Float64() * 10
+		switch {
+		case gv[kv[i]] == 0:
+			lv[i] = 0
+		case xv[i] <= 4:
+			lv[i] = 1
+		default:
+			lv[i] = 2
+		}
+		// 2% label noise.
+		if rng.Intn(50) == 0 {
+			lv[i] = int64(rng.Intn(3))
+		}
+	}
+	fact := data.NewRelation("Fact", []data.AttrID{k, x, label}, []data.Column{
+		data.NewIntColumn(kv), data.NewFloatColumn(xv), data.NewIntColumn(lv)})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSpec(Classification, label)
+	spec.Continuous = []data.AttrID{x}
+	spec.Categorical = []data.AttrID{g}
+	spec.MinSplit = 20
+	spec.MaxDepth = 3
+	return db, spec
+}
+
+func seqKeys(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func flatten(t *testing.T, db *data.Database) *data.Relation {
+	t.Helper()
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := base.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat
+}
+
+func newEng(t *testing.T, db *data.Database) *moo.Engine {
+	t.Helper()
+	eng, err := moo.NewEngine(db, moo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func sameTree(a, b *Node) bool {
+	if a.IsLeaf() != b.IsLeaf() {
+		return false
+	}
+	if math.Abs(a.Prediction-b.Prediction) > 1e-6 || math.Abs(a.Count-b.Count) > 1e-6 {
+		return false
+	}
+	if a.IsLeaf() {
+		return true
+	}
+	if a.SplitCond.Attr != b.SplitCond.Attr || a.SplitCond.Op != b.SplitCond.Op ||
+		math.Abs(a.SplitCond.Threshold-b.SplitCond.Threshold) > 1e-12 {
+		return false
+	}
+	return sameTree(a.Left, b.Left) && sameTree(a.Right, b.Right)
+}
+
+func TestRegressionTreeLearns(t *testing.T) {
+	db, spec := regressionDB(t, 600)
+	m, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root.IsLeaf() {
+		t.Fatal("no split found")
+	}
+	// The dominant split is x ≤ ~5.
+	if m.Root.SplitCond.Attr != spec.Continuous[0] {
+		t.Fatalf("root split on %d: %s", m.Root.SplitCond.Attr, m.String(db))
+	}
+	if m.Root.SplitCond.Threshold < 3.5 || m.Root.SplitCond.Threshold > 6.5 {
+		t.Fatalf("root threshold %g", m.Root.SplitCond.Threshold)
+	}
+	flat := flatten(t, db)
+	rmse, err := m.RMSE(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 3.5 {
+		t.Fatalf("RMSE = %g", rmse)
+	}
+}
+
+func TestRegressionEngineMatchesMaterialized(t *testing.T) {
+	db, spec := regressionDB(t, 500)
+	mEng, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatten(t, db)
+	mFlat, err := LearnMaterialized(flat, db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTree(mEng.Root, mFlat.Root) {
+		t.Fatalf("trees differ:\nengine:\n%s\nmaterialized:\n%s",
+			mEng.String(db), mFlat.String(db))
+	}
+	if mEng.Nodes != mFlat.Nodes {
+		t.Fatalf("node counts differ: %d vs %d", mEng.Nodes, mFlat.Nodes)
+	}
+}
+
+func TestClassificationTreeLearns(t *testing.T) {
+	db, spec := classificationDB(t, 800)
+	m, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatten(t, db)
+	acc, err := m.Accuracy(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("accuracy = %g\n%s", acc, m.String(db))
+	}
+	if len(m.Classes) != 3 {
+		t.Fatalf("classes = %v", m.Classes)
+	}
+}
+
+func TestClassificationEngineMatchesMaterialized(t *testing.T) {
+	db, spec := classificationDB(t, 600)
+	mEng, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatten(t, db)
+	mFlat, err := LearnMaterialized(flat, db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTree(mEng.Root, mFlat.Root) {
+		t.Fatalf("trees differ:\nengine:\n%s\nmaterialized:\n%s",
+			mEng.String(db), mFlat.String(db))
+	}
+}
+
+func TestEntropyCost(t *testing.T) {
+	db, spec := classificationDB(t, 500)
+	spec.Cost = Entropy
+	m, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatten(t, db)
+	acc, err := m.Accuracy(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("entropy accuracy = %g", acc)
+	}
+}
+
+func TestMinSplitStopsGrowth(t *testing.T) {
+	db, spec := regressionDB(t, 100)
+	spec.MinSplit = 10_000 // larger than the dataset
+	m, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Root.IsLeaf() {
+		t.Fatal("tree split despite MinSplit")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	db, spec := regressionDB(t, 600)
+	spec.MaxDepth = 1
+	m, err := Learn(newEng(t, db), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDepth int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Depth > maxDepth {
+			maxDepth = n.Depth
+		}
+		if !n.IsLeaf() {
+			walk(n.Left)
+			walk(n.Right)
+		}
+	}
+	walk(m.Root)
+	if maxDepth > 1 {
+		t.Fatalf("depth %d > 1", maxDepth)
+	}
+	if m.Nodes > 3 {
+		t.Fatalf("nodes = %d", m.Nodes)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	db, spec := regressionDB(t, 20)
+	bad := spec
+	bad.Continuous = []data.AttrID{spec.Categorical[0]}
+	if err := bad.Validate(db); err == nil {
+		t.Fatal("categorical-as-continuous accepted")
+	}
+	bad2 := spec
+	bad2.Task = Classification // numeric label
+	if err := bad2.Validate(db); err == nil {
+		t.Fatal("numeric classification label accepted")
+	}
+	bad3 := spec
+	bad3.Categorical = []data.AttrID{spec.Continuous[0]}
+	if err := bad3.Validate(db); err == nil {
+		t.Fatal("numeric categorical accepted")
+	}
+}
+
+func TestConditionHelpers(t *testing.T) {
+	c := Condition{Attr: 1, Continuous: true, Op: query.LE, Threshold: 5}
+	n := c.Negated()
+	if n.Op != query.GT {
+		t.Fatalf("negated LE = %v", n.Op)
+	}
+	if n.Negated().Op != query.LE {
+		t.Fatal("double negation broken")
+	}
+	e := Condition{Attr: 1, Op: query.EQ, Threshold: 2}
+	if e.Negated().Op != query.NE || e.Negated().Negated().Op != query.EQ {
+		t.Fatal("EQ negation broken")
+	}
+	f := c.Factor()
+	if f.Kind != query.Indicator {
+		t.Fatal("Factor kind wrong")
+	}
+}
+
+func TestVarianceAndImpurity(t *testing.T) {
+	// variance of {2,4}: Σy²−(Σy)²/n = 20 − 36/2 = 2.
+	if v := variance(2, 6, 20); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("variance = %g", v)
+	}
+	if v := variance(0, 0, 0); v != 0 {
+		t.Fatal("variance of empty set")
+	}
+	// Gini of 50/50 over 2 classes: (1 − 0.5) × n = 0.5 × 4 = 2.
+	if g := impurity(Gini, []float64{2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("gini = %g", g)
+	}
+	if g := impurity(Gini, []float64{4, 0}); g != 0 {
+		t.Fatalf("pure gini = %g", g)
+	}
+	// Entropy of 50/50: ln 2 per tuple, weighted by n = 4.
+	e := impurity(Entropy, []float64{2, 2})
+	if math.Abs(e-4*math.Log(2)) > 1e-9 {
+		t.Fatalf("entropy = %g", e)
+	}
+	if impurity(Gini, nil) != 0 {
+		t.Fatal("empty impurity")
+	}
+}
+
+func TestQuantileThresholds(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	ts := quantileThresholds(vals, 3)
+	if len(ts) == 0 || len(ts) > 3 {
+		t.Fatalf("thresholds = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatalf("not strictly increasing: %v", ts)
+		}
+	}
+	if got := quantileThresholds(nil, 5); got != nil {
+		t.Fatal("nil input should yield nil")
+	}
+	// Constant column: single threshold at most.
+	if got := quantileThresholds([]float64{7, 7, 7, 7}, 5); len(got) > 1 {
+		t.Fatalf("constant column thresholds = %v", got)
+	}
+}
+
+func TestNodeBatchShape(t *testing.T) {
+	db, spec := regressionDB(t, 30)
+	_ = db
+	th := map[data.AttrID][]float64{
+		spec.Continuous[0]: {1, 2},
+		spec.Continuous[1]: {3},
+	}
+	batch := NodeBatch(spec, nil, th)
+	// 1 scalar + 1 categorical query.
+	if len(batch) != 2 {
+		t.Fatalf("batch = %d queries", len(batch))
+	}
+	// Scalar: 3 node aggs + 3 per threshold × 3 thresholds.
+	if len(batch[0].Aggs) != 3+9 {
+		t.Fatalf("scalar aggs = %d", len(batch[0].Aggs))
+	}
+	conds := []Condition{{Attr: spec.Continuous[0], Continuous: true, Op: query.LE, Threshold: 2}}
+	batch2 := NodeBatch(spec, conds, th)
+	// Condition factors appear in every aggregate term.
+	if got := len(batch2[0].Aggs[0].Terms[0].Factors); got != 1 {
+		t.Fatalf("condition factors = %d", got)
+	}
+}
+
+func TestClassificationNodeBatchShape(t *testing.T) {
+	db, spec := classificationDB(t, 30)
+	_ = db
+	th := map[data.AttrID][]float64{spec.Continuous[0]: {1, 2, 3}}
+	batch := NodeBatch(spec, nil, th)
+	// group-by-label + scalar total + 1 categorical.
+	if len(batch) != 3 {
+		t.Fatalf("batch = %d queries", len(batch))
+	}
+	if len(batch[0].GroupBy) != 1 || batch[0].GroupBy[0] != spec.Label {
+		t.Fatalf("first query group-by = %v", batch[0].GroupBy)
+	}
+	if len(batch[2].GroupBy) != 2 {
+		t.Fatalf("categorical query group-by = %v", batch[2].GroupBy)
+	}
+}

@@ -1,0 +1,63 @@
+package moo
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// TestDynamicFunctionIteration exercises the paper's dynamic-function
+// workflow (§1.2): an application re-runs a structurally identical batch
+// between iterations with changed dynamic predicates (decision-tree node
+// conditions), without rebuilding the database or engine.
+func TestDynamicFunctionIteration(t *testing.T) {
+	db := data.NewDatabase()
+	k := db.Attr("k", data.Key)
+	x := db.Attr("x", data.Numeric)
+	rel := data.NewRelation("R", []data.AttrID{k, x}, []data.Column{
+		data.NewIntColumn([]int64{0, 0, 1, 1, 2}),
+		data.NewFloatColumn([]float64{1, 2, 3, 4, 5}),
+	})
+	if err := db.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for iter, tc := range []struct {
+		threshold float64
+		want      float64 // Σ x·1_{x≤t}
+	}{
+		{2.5, 3}, {4.5, 10}, {0.5, 0},
+	} {
+		th := tc.threshold
+		cond := query.DynamicF("node-cond", x, func(v float64) float64 {
+			if v <= th {
+				return 1
+			}
+			return 0
+		})
+		batch := []*query.Query{query.NewQuery("dyn", nil,
+			query.NewAggregate("sum", query.NewTerm(query.IdentF(x), cond)))}
+		res, err := eng.Run(batch)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", iter, err)
+		}
+		if got := res.Results[0].Val(0, 0); got != tc.want {
+			t.Fatalf("iteration %d: sum = %g, want %g", iter, got, tc.want)
+		}
+	}
+}
+
+// Dynamic factors must never be merged across distinct closures, even under
+// the same name within one batch rebuild cycle.
+func TestDynamicFactorsNotMergedWithStatic(t *testing.T) {
+	f1 := query.DynamicF("cond", 0, nil)
+	f2 := query.CustomF("cond", 0, nil)
+	if f1.Signature() == f2.Signature() {
+		t.Fatal("dynamic and static factors share a signature")
+	}
+}

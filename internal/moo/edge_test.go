@@ -1,0 +1,364 @@
+package moo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// TestDoubleCarriedGroupBy forces a single query whose two group-by
+// attributes are carried from two different child views of the same root —
+// the nested carried-entry enumeration (paper's multi-relation group-bys).
+func TestDoubleCarriedGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db := data.NewDatabase()
+	k1 := db.Attr("k1", data.Key)
+	k2 := db.Attr("k2", data.Key)
+	c1 := db.Attr("c1", data.Key)
+	c2 := db.Attr("c2", data.Key)
+	m := db.Attr("m", data.Numeric)
+
+	dom := 5
+	n := 60
+	f1 := make([]int64, n)
+	f2 := make([]int64, n)
+	mv := make([]float64, n)
+	for i := range f1 {
+		f1[i] = int64(rng.Intn(dom))
+		f2[i] = int64(rng.Intn(dom))
+		mv[i] = float64(rng.Intn(9)) + 0.5
+	}
+	fact := data.NewRelation("F", []data.AttrID{k1, k2, m}, []data.Column{
+		data.NewIntColumn(f1), data.NewIntColumn(f2), data.NewFloatColumn(mv)})
+	if err := db.AddRelation(fact); err != nil {
+		t.Fatal(err)
+	}
+	mkDim := func(name string, k, c data.AttrID) {
+		kv := make([]int64, dom)
+		cv := make([]int64, dom)
+		for i := 0; i < dom; i++ {
+			kv[i] = int64(i)
+			cv[i] = int64(i % 2)
+		}
+		if err := db.AddRelation(data.NewRelation(name, []data.AttrID{k, c},
+			[]data.Column{data.NewIntColumn(kv), data.NewIntColumn(cv)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkDim("D1", k1, c1)
+	mkDim("D2", k2, c2)
+
+	// Many fact-anchored queries pull the shared single root to F; the
+	// (c1,c2) query must then carry both attributes from the two dimension
+	// views at once.
+	batch := []*query.Query{
+		query.NewQuery("f1", []data.AttrID{k1}, query.SumAgg(m)),
+		query.NewQuery("f2", []data.AttrID{k2}, query.SumAgg(m)),
+		query.NewQuery("cross", []data.AttrID{c1, c2},
+			query.CountAgg(), query.SumAgg(m)),
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, multiRoot := range []bool{false, true} {
+		eng, err := NewEngine(db, Options{Compiled: true, MultiOutput: true,
+			MultiRoot: multiRoot, Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range batch {
+			compareResults(t, fmt.Sprintf("multiRoot=%v/%s", multiRoot, batch[qi].Name),
+				res.Results[qi], want[qi])
+		}
+		// Sanity: with a single root at F, the cross query really uses two
+		// carried views (its root cannot contain c1 or c2).
+		if !multiRoot {
+			root := res.Plan.Roots[2]
+			node := eng.Tree().Nodes[root]
+			if node.HasAttr(c1) && node.HasAttr(c2) {
+				t.Fatal("test is vacuous: root contains both group-by attributes")
+			}
+		}
+	}
+}
+
+// TestCrossProductSchema joins two relations with no shared attributes: the
+// tree gets a zero-weight edge and child views have empty consumer keys
+// (global binds).
+func TestCrossProductSchema(t *testing.T) {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	x := db.Attr("x", data.Numeric)
+	b := db.Attr("b", data.Key)
+	y := db.Attr("y", data.Numeric)
+	r1 := data.NewRelation("R1", []data.AttrID{a, x}, []data.Column{
+		data.NewIntColumn([]int64{1, 1, 2}),
+		data.NewFloatColumn([]float64{1, 2, 3})})
+	r2 := data.NewRelation("R2", []data.AttrID{b, y}, []data.Column{
+		data.NewIntColumn([]int64{7, 8}),
+		data.NewFloatColumn([]float64{10, 20})})
+	if err := db.AddRelation(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(r2); err != nil {
+		t.Fatal(err)
+	}
+	batch := []*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("bya", []data.AttrID{a}, query.SumAgg(y)),
+		query.NewQuery("cross", []data.AttrID{a, b}, query.SumProdAgg(x, y)),
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0].Rows[""][0] != 6 { // 3 × 2 cross product
+		t.Fatalf("baseline cross count = %g", want[0].Rows[""][0])
+	}
+	for _, v := range optionVariants {
+		eng, err := NewEngine(db, v.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(batch)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		for qi := range batch {
+			compareResults(t, v.name+"/"+batch[qi].Name, res.Results[qi], want[qi])
+		}
+	}
+}
+
+// TestCyclicSchemaEndToEnd runs aggregates over a triangle query: the join
+// tree materializes a hypertree bag first (paper footnote 1).
+func TestCyclicSchemaEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	c := db.Attr("c", data.Key)
+	w := db.Attr("w", data.Numeric)
+	mk := func(name string, x, y data.AttrID, withW bool) {
+		n := 25
+		xv := make([]int64, n)
+		yv := make([]int64, n)
+		wv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xv[i] = int64(rng.Intn(4))
+			yv[i] = int64(rng.Intn(4))
+			wv[i] = float64(rng.Intn(5)) + 0.5
+		}
+		attrs := []data.AttrID{x, y}
+		cols := []data.Column{data.NewIntColumn(xv), data.NewIntColumn(yv)}
+		if withW {
+			attrs = append(attrs, w)
+			cols = append(cols, data.NewFloatColumn(wv))
+		}
+		if err := db.AddRelation(data.NewRelation(name, attrs, cols)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("R", a, b, true)
+	mk("S", b, c, false)
+	mk("T", a, c, false)
+
+	batch := []*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("bya", []data.AttrID{a}, query.SumAgg(w)),
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Tree().Nodes) >= 3 {
+		t.Fatalf("triangle not decomposed: %d nodes", len(eng.Tree().Nodes))
+	}
+	res, err := eng.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range batch {
+		compareResults(t, batch[qi].Name, res.Results[qi], want[qi])
+	}
+}
+
+// TestEmptyRelation: one relation has zero tuples, so every join result is
+// empty.
+func TestEmptyRelation(t *testing.T) {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	r1 := data.NewRelation("R1", []data.AttrID{a, b}, []data.Column{
+		data.NewIntColumn([]int64{1, 2}), data.NewIntColumn([]int64{1, 2})})
+	r2 := data.NewRelation("R2", []data.AttrID{b}, []data.Column{
+		data.NewIntColumn(nil)})
+	if err := db.AddRelation(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(r2); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run([]*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("bya", []data.AttrID{a}, query.CountAgg()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].NumRows() != 1 || res.Results[0].Val(0, 0) != 0 {
+		t.Fatalf("scalar over empty join: %v rows, %g",
+			res.Results[0].NumRows(), res.Results[0].Val(0, 0))
+	}
+	if res.Results[1].NumRows() != 0 {
+		t.Fatalf("group-by over empty join has %d rows", res.Results[1].NumRows())
+	}
+}
+
+// TestExample33Execution executes the paper's Example 3.3: per-attribute
+// count queries over a key chain, with per-query roots.
+func TestExample33Execution(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	db := data.NewDatabase()
+	nAttrs := 5
+	attrs := make([]data.AttrID, nAttrs+1)
+	for i := 1; i <= nAttrs; i++ {
+		attrs[i] = db.Attr(fmt.Sprintf("x%d", i), data.Key)
+	}
+	for i := 1; i < nAttrs; i++ {
+		n := 40
+		av := make([]int64, n)
+		bv := make([]int64, n)
+		for r := 0; r < n; r++ {
+			av[r] = int64(rng.Intn(3))
+			bv[r] = int64(rng.Intn(3))
+		}
+		if err := db.AddRelation(data.NewRelation(fmt.Sprintf("S%d", i),
+			[]data.AttrID{attrs[i], attrs[i+1]},
+			[]data.Column{data.NewIntColumn(av), data.NewIntColumn(bv)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var batch []*query.Query
+	for i := 1; i <= nAttrs; i++ {
+		batch = append(batch, query.NewQuery(fmt.Sprintf("Q%d", i),
+			[]data.AttrID{attrs[i]}, query.CountAgg()))
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range batch {
+		compareResults(t, batch[qi].Name, res.Results[qi], want[qi])
+	}
+	// The multi-root plan shares directional count views: at most 2 per
+	// edge (Example 3.3's L_i / R_i views).
+	edges := len(eng.Tree().Nodes) - 1
+	if res.Plan.Stats.Views > 2*edges {
+		t.Fatalf("views = %d, want <= %d", res.Plan.Stats.Views, 2*edges)
+	}
+	// And every query root contains its group-by attribute.
+	for qi, q := range batch {
+		if !eng.Tree().Nodes[res.Plan.Roots[qi]].HasAttr(q.GroupBy[0]) {
+			t.Fatalf("query %d rooted away from its group-by", qi)
+		}
+	}
+}
+
+// TestDeepSnowflakeCarriedTwoHops: census-style attribute two joins away
+// from the fact relation, grouped together with a fact attribute.
+func TestDeepSnowflakeCarriedTwoHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db := data.NewDatabase()
+	locn := db.Attr("locn", data.Key)
+	zip := db.Attr("zip", data.Key)
+	pop := db.Attr("pop", data.Key) // discrete so it can be grouped
+	item := db.Attr("item", data.Key)
+	units := db.Attr("units", data.Numeric)
+
+	nZip, nLoc, nFact := 4, 8, 70
+	zv := make([]int64, nZip)
+	pv := make([]int64, nZip)
+	for i := range zv {
+		zv[i] = int64(i)
+		pv[i] = int64(i % 2)
+	}
+	if err := db.AddRelation(data.NewRelation("Census",
+		[]data.AttrID{zip, pop},
+		[]data.Column{data.NewIntColumn(zv), data.NewIntColumn(pv)})); err != nil {
+		t.Fatal(err)
+	}
+	lv := make([]int64, nLoc)
+	lz := make([]int64, nLoc)
+	for i := range lv {
+		lv[i] = int64(i)
+		lz[i] = int64(rng.Intn(nZip))
+	}
+	if err := db.AddRelation(data.NewRelation("Location",
+		[]data.AttrID{locn, zip},
+		[]data.Column{data.NewIntColumn(lv), data.NewIntColumn(lz)})); err != nil {
+		t.Fatal(err)
+	}
+	fl := make([]int64, nFact)
+	fi := make([]int64, nFact)
+	fu := make([]float64, nFact)
+	for i := range fl {
+		fl[i] = int64(rng.Intn(nLoc))
+		fi[i] = int64(rng.Intn(5))
+		fu[i] = float64(rng.Intn(10))
+	}
+	if err := db.AddRelation(data.NewRelation("Inventory",
+		[]data.AttrID{locn, item, units},
+		[]data.Column{data.NewIntColumn(fl), data.NewIntColumn(fi), data.NewFloatColumn(fu)})); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []*query.Query{
+		// pop is two hops from Inventory; item is local to it.
+		query.NewQuery("span", []data.AttrID{pop, item},
+			query.CountAgg(), query.SumAgg(units)),
+		query.NewQuery("anchor", []data.AttrID{item}, query.SumAgg(units)),
+	}
+	checkBatch(t, db, batch)
+}

@@ -1,0 +1,347 @@
+package moo
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// Options selects the engine's optimization levels. The default enables
+// everything; disabling individual options reproduces the ablation
+// configurations of the paper's Figure 5 (the all-off configuration is the
+// AC/DC proxy).
+type Options struct {
+	// MultiRoot lets each query use its own join-tree root (§3.3).
+	MultiRoot bool
+	// MultiOutput computes groups of views in one shared scan (§3.5).
+	MultiOutput bool
+	// Compiled specializes factor evaluation into monomorphic closures at
+	// plan time (the Go analogue of the paper's code generation layer);
+	// disabled, factors are interpreted per call.
+	Compiled bool
+	// Threads bounds task parallelism across view groups and domain
+	// parallelism within large scans. 1 disables parallelism.
+	Threads int
+	// DomainParallelRows is the minimum relation size for splitting one
+	// group scan across threads.
+	DomainParallelRows int
+}
+
+// DefaultOptions enables all optimizations with the paper's four threads
+// (capped by the host CPU count).
+func DefaultOptions() Options {
+	t := runtime.NumCPU()
+	if t > 4 {
+		t = 4
+	}
+	return Options{
+		MultiRoot:          true,
+		MultiOutput:        true,
+		Compiled:           true,
+		Threads:            t,
+		DomainParallelRows: 65536,
+	}
+}
+
+// ACDCOptions is the all-optimizations-off configuration, the paper's proxy
+// for the AC/DC predecessor system.
+func ACDCOptions() Options {
+	return Options{Threads: 1, DomainParallelRows: 1 << 30}
+}
+
+// Engine evaluates batches of group-by aggregate queries over a database's
+// natural join using the layered LMFAO architecture.
+type Engine struct {
+	db   *data.Database
+	tree *jointree.Tree
+	opts Options
+
+	mu        sync.Mutex
+	sortCache map[string]*data.Relation
+}
+
+// NewEngine builds the join tree for db (decomposing cyclic schemas) and
+// returns an engine.
+func NewEngine(db *data.Database, opts Options) (*Engine, error) {
+	tree, err := jointree.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineWithTree(db, tree, opts), nil
+}
+
+// NewEngineWithTree wraps an existing join tree (e.g. a hand-picked one
+// matching the paper's Figure 6).
+func NewEngineWithTree(db *data.Database, tree *jointree.Tree, opts Options) *Engine {
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.DomainParallelRows <= 0 {
+		opts.DomainParallelRows = 65536
+	}
+	return &Engine{db: db, tree: tree, opts: opts, sortCache: map[string]*data.Relation{}}
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *data.Database { return e.db }
+
+// Tree returns the engine's join tree.
+func (e *Engine) Tree() *jointree.Tree { return e.tree }
+
+// Options returns the engine's option set.
+func (e *Engine) Options() Options { return e.opts }
+
+// BatchResult carries the outputs of a batch run plus planning statistics.
+type BatchResult struct {
+	Plan *core.Plan
+	// Results holds one materialized output per query, batch order.
+	Results []*ViewData
+	// OutputBytes is the total size of the application outputs (paper
+	// Table 2's "Size" column).
+	OutputBytes int64
+	// ViewBytes is the total size of all intermediate directional views.
+	ViewBytes int64
+	Elapsed   time.Duration
+}
+
+// Run plans and executes a batch of aggregate queries.
+func (e *Engine) Run(queries []*query.Query) (*BatchResult, error) {
+	start := time.Now()
+	plan, err := core.BuildPlan(e.tree, queries, core.PlanOptions{
+		MultiRoot:   e.opts.MultiRoot,
+		MultiOutput: e.opts.MultiOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	produced, err := e.execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchResult{
+		Plan:    plan,
+		Results: make([]*ViewData, len(queries)),
+		Elapsed: time.Since(start),
+	}
+	for qi, vid := range plan.OutputView {
+		res.Results[qi] = produced[vid]
+		res.OutputBytes += produced[vid].SizeBytes()
+	}
+	for _, v := range plan.Views {
+		if !v.IsOutput() && produced[v.ID] != nil {
+			res.ViewBytes += produced[v.ID].SizeBytes()
+		}
+	}
+	return res, nil
+}
+
+// execute runs the plan's groups respecting the dependency graph, in
+// parallel when Threads > 1.
+func (e *Engine) execute(plan *core.Plan) ([]*ViewData, error) {
+	produced := make([]*ViewData, len(plan.Views))
+	if e.opts.Threads <= 1 {
+		for _, g := range plan.Groups {
+			if err := e.runGroup(plan, g, produced); err != nil {
+				return nil, err
+			}
+		}
+		return produced, nil
+	}
+
+	// Task parallelism: a worker pool over the group DAG.
+	n := len(plan.Groups)
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for g, deps := range plan.GroupDeps {
+		indeg[g] = len(deps)
+		for _, d := range deps {
+			dependents[d] = append(dependents[d], g)
+		}
+	}
+	ready := make(chan int, n)
+	for g := 0; g < n; g++ {
+		if indeg[g] == 0 {
+			ready <- g
+		}
+	}
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		doneCount int
+		closed    bool
+		wg        sync.WaitGroup
+	)
+	workers := e.opts.Threads
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for g := range ready {
+				err := e.runGroup(plan, plan.Groups[g], produced)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				doneCount++
+				if err == nil {
+					for _, d := range dependents[g] {
+						indeg[d]--
+						if indeg[d] == 0 {
+							ready <- d
+						}
+					}
+				}
+				if (doneCount == n || firstErr != nil) && !closed {
+					closed = true
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if doneCount != n {
+		return nil, fmt.Errorf("moo: executed %d of %d groups (stalled dependency graph)", doneCount, n)
+	}
+	return produced, nil
+}
+
+// runGroup compiles and executes one view group, finalizing its outputs into
+// produced.
+func (e *Engine) runGroup(plan *core.Plan, g *core.Group, produced []*ViewData) error {
+	gp, err := compileGroup(plan, g, e.opts.Compiled)
+	if err != nil {
+		return err
+	}
+	gp.rel, err = e.sortedRel(gp.node.Rel, gp.order)
+	if err != nil {
+		return err
+	}
+	gp.resolveLeafCols()
+
+	n := gp.rel.Len()
+	var builders []*viewBuilder
+	if e.opts.Threads > 1 && gp.L > 0 && n >= e.opts.DomainParallelRows {
+		builders, err = e.runDomainParallel(gp, produced, n)
+		if err != nil {
+			return err
+		}
+	} else {
+		ctx, err := newExecCtx(gp, produced, true)
+		if err != nil {
+			return err
+		}
+		ctx.run(0, n)
+		builders = ctx.builders
+	}
+	for i, v := range gp.views {
+		produced[v.ID] = builders[i].finalize(gp.targets[i])
+	}
+	return nil
+}
+
+// runDomainParallel splits the scan at top-attribute value boundaries across
+// threads and merges the per-thread partial outputs (paper: "LMFAO
+// partitions the largest input relations and allocates a thread per
+// partition").
+func (e *Engine) runDomainParallel(gp *groupPlan, produced []*ViewData, n int) ([]*viewBuilder, error) {
+	col := gp.rel.MustCol(gp.order[0]).Ints
+	var bounds []int
+	data.ForEachRange(col, 0, n, func(_ int64, l, _ int) {
+		bounds = append(bounds, l)
+	})
+	bounds = append(bounds, n)
+	threads := e.opts.Threads
+	if threads > len(bounds)-1 {
+		threads = len(bounds) - 1
+	}
+	// Assign contiguous top-level ranges to chunks, balancing rows.
+	chunkStarts := make([]int, 0, threads+1)
+	target := n / threads
+	next := 0
+	for t := 0; t < threads; t++ {
+		chunkStarts = append(chunkStarts, bounds[next])
+		want := bounds[next] + target
+		for next < len(bounds)-1 && bounds[next] < want {
+			next++
+		}
+	}
+	chunkStarts = append(chunkStarts, n)
+
+	ctxs := make([]*execCtx, 0, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo, hi := chunkStarts[t], chunkStarts[t+1]
+		if lo >= hi {
+			continue
+		}
+		ctx, err := newExecCtx(gp, produced, true)
+		if err != nil {
+			return nil, err
+		}
+		ctxs = append(ctxs, ctx)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx.run(lo, hi)
+		}()
+	}
+	wg.Wait()
+	out := ctxs[0].builders
+	for _, ctx := range ctxs[1:] {
+		for i := range out {
+			out[i].merge(ctx.builders[i])
+		}
+	}
+	return out, nil
+}
+
+// sortedRel returns rel sorted by order, using the base relation when
+// already compatible and caching sorted copies otherwise.
+func (e *Engine) sortedRel(rel *data.Relation, order []data.AttrID) (*data.Relation, error) {
+	if len(order) == 0 || rel.SortedBy(order) {
+		return rel, nil
+	}
+	parts := make([]string, len(order))
+	for i, a := range order {
+		parts[i] = fmt.Sprint(a)
+	}
+	key := rel.Name + "|" + strings.Join(parts, ",")
+	e.mu.Lock()
+	cached := e.sortCache[key]
+	e.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	cp, err := rel.SortedCopy(order)
+	if err != nil {
+		return nil, err
+	}
+	// Carry over distinct counts (identical row multiset).
+	for _, a := range order {
+		cp.DistinctCount(a)
+	}
+	e.mu.Lock()
+	e.sortCache[key] = cp
+	e.mu.Unlock()
+	return cp, nil
+}
+
+// SortAttrIDs is a helper for deterministic attribute ordering in callers.
+func SortAttrIDs(ids []data.AttrID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,647 @@
+package moo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// The multi-output plan for one view group (paper §3.5). Compilation follows
+// the paper's three steps: (1) pick a join-attribute order for the group's
+// relation (increasing domain size); (2) register incoming views at the
+// lowest depth where their consumer key is bound and outgoing views at the
+// depth of their deepest group-by attribute; (3) register every product
+// aggregate as per-depth partial products. Partial products shared across
+// aggregates become interned "slots"; the sums over deeper depths become
+// interned suffix chains — the paper's running sums r_d; the products above
+// the registration depth are multiplied at emission time — the paper's
+// intermediate aggregates a_d.
+
+type slotKind uint8
+
+const (
+	localSlot  slotKind = iota // product of factors over the depth's attribute
+	lookupSlot                 // aggregate fetched from a bound incoming view
+)
+
+type slotSpec struct {
+	kind slotKind
+	// localSlot:
+	factors []query.Factor
+	fn      func(float64) float64 // composed product, non-nil in compiled mode
+	// lookupSlot:
+	input int // index into groupPlan.inputs
+	col   int // aggregate column in the input view
+}
+
+// slotRef addresses a slot: depth == -1 refers to the global slots (inputs
+// whose consumer key is empty, bound once per scan).
+type slotRef struct {
+	depth int
+	idx   int
+}
+
+type leafSlot struct {
+	factors []query.Factor
+	cols    []data.Column // resolved columns, parallel to factors
+	// rowFn is the composed per-row product reading columns directly
+	// (compiled mode; rebuilt by resolveLeafCols).
+	rowFn    func(r int) float64
+	compiled bool
+}
+
+// suffixSpec is one node of a running-sum chain at some depth d:
+// R_d[this] += Π slotVals(slots) × R_{d+1}[next]. After compilation the
+// per-depth tables are flattened into suffixTab for tight scanning.
+type suffixSpec struct {
+	slots []int
+	next  int
+}
+
+// suffixTab is the flattened (structure-of-arrays) suffix table of one
+// depth: chain i multiplies slots[slotOff[i]:slotOff[i+1]] into R[next[i]].
+type suffixTab struct {
+	next    []int32
+	slotOff []int32
+	slots   []int32
+}
+
+func flattenSuffixes(specs []suffixSpec) suffixTab {
+	t := suffixTab{
+		next:    make([]int32, len(specs)),
+		slotOff: make([]int32, len(specs)+1),
+	}
+	for i, sp := range specs {
+		t.next[i] = int32(sp.next)
+		for _, s := range sp.slots {
+			t.slots = append(t.slots, int32(s))
+		}
+		t.slotOff[i+1] = int32(len(t.slots))
+	}
+	return t
+}
+
+type carriedRef struct {
+	input int // index into groupPlan.inputs (a view with extras)
+	col   int // aggregate column supplying the value factor
+}
+
+// keySource says where one output group-by value comes from: an order depth
+// (carried == -1) or a carried view entry column.
+type keySource struct {
+	carried  int // index into emitSpec.carried, or -1
+	depth    int // order depth when carried == -1
+	extraCol int // key-column index in the carried view
+}
+
+type emitSpec struct {
+	view     int // index into groupPlan.views
+	col      int
+	coef     float64
+	regDepth int
+	prefix   []slotRef
+	carried  []carriedRef
+	suffix   int // suffix id at depth regDepth+1 (leaf id when regDepth+1 == L)
+	keySrc   []keySource
+}
+
+// emitGroup batches the emissions of one output view that share a
+// registration depth, key sources and carried views: the output row is
+// resolved once per context and every aggregate column is written
+// sequentially — the paper's contiguous aggregate-array organization.
+type emitGroup struct {
+	view     int
+	regDepth int
+	keySrc   []keySource
+	// carriedInputs lists the carried views (by input index) whose entries
+	// are enumerated; per-emission value columns live in groupEmit.
+	carriedInputs []int
+	emits         []groupEmit
+}
+
+// groupEmit is the per-aggregate value recipe within an emitGroup.
+type groupEmit struct {
+	col         int
+	coef        float64
+	prefix      []slotRef
+	suffix      int
+	carriedCols []int // one value column per carriedInputs entry
+}
+
+type inputSpec struct {
+	id int // view ID in the logical plan
+	// keyAttrs is the consumer key (group-by ∩ node schema, ID order) and
+	// extraAttrs the carried remainder — both derived logically so plans
+	// compile without materialized data.
+	keyAttrs   []data.AttrID
+	extraAttrs []data.AttrID
+	keyDepths  []int // order depth per consumer-key attribute
+	bindDepth  int   // max(keyDepths); -1 when the consumer key is empty
+	carried    bool  // has extras
+}
+
+type groupPlan struct {
+	group *core.Group
+	node  *jointree.Node
+	rel   *data.Relation // sorted by order
+	order []data.AttrID
+	L     int
+
+	inputs     []inputSpec
+	globalBind []int // inputs with bindDepth == -1
+
+	globalSlots []slotSpec
+	depthSlots  [][]slotSpec // [d]
+	bindAt      [][]int      // [d] → input indices bound at depth d
+	leafSlots   []leafSlot
+	suffixes    [][]suffixSpec // [d], d in 0..L-1
+	sfxTabs     []suffixTab    // flattened suffixes per depth
+
+	emits       []emitSpec
+	emitGroups  []emitGroup
+	emitsAt     [][]int // [d] → emitGroup indices with regDepth == d
+	emitsScalar []int   // emitGroup indices with regDepth == -1
+
+	views []*core.View
+	// targets[i] is the consumer node schema for finalize (nil for outputs).
+	targets [][]data.AttrID
+}
+
+type planCompiler struct {
+	gp        *groupPlan
+	compiled  bool
+	depthIdx  map[data.AttrID]int
+	slotSigs  []map[string]int // per depth
+	globalSig map[string]int
+	leafSig   map[string]int
+	sfxSigs   []map[string]int
+	inputIdx  map[int]int // view ID → inputs index
+}
+
+// compileGroup builds the multi-output plan for group g from the logical
+// plan alone; materialized input views are bound later at execution time.
+func compileGroup(p *core.Plan, g *core.Group, compiled bool) (*groupPlan, error) {
+	node := p.Tree.Nodes[g.Node]
+	gp := &groupPlan{group: g, node: node}
+	pc := &planCompiler{
+		gp:        gp,
+		compiled:  compiled,
+		globalSig: map[string]int{},
+		leafSig:   map[string]int{},
+		inputIdx:  map[int]int{},
+	}
+
+	// Collect the distinct input views and the order attribute set.
+	orderSet := map[data.AttrID]struct{}{}
+	var inputIDs []int
+	for _, vid := range g.Views {
+		v := p.Views[vid]
+		gp.views = append(gp.views, v)
+		if v.IsOutput() {
+			gp.targets = append(gp.targets, nil)
+		} else {
+			gp.targets = append(gp.targets, p.Tree.Nodes[v.To].Attrs)
+		}
+		for _, gb := range v.GroupBy {
+			if node.HasAttr(gb) {
+				orderSet[gb] = struct{}{}
+			}
+		}
+		for _, in := range v.InputViews() {
+			if _, ok := pc.inputIdx[in]; !ok {
+				pc.inputIdx[in] = len(inputIDs)
+				inputIDs = append(inputIDs, in)
+			}
+		}
+	}
+	inKeys := make([][]data.AttrID, len(inputIDs))
+	inExtras := make([][]data.AttrID, len(inputIDs))
+	for i, id := range inputIDs {
+		for _, a := range p.Views[id].GroupBy {
+			if node.HasAttr(a) {
+				inKeys[i] = append(inKeys[i], a)
+				orderSet[a] = struct{}{}
+			} else {
+				inExtras[i] = append(inExtras[i], a)
+			}
+		}
+	}
+
+	// Join-attribute order: increasing domain size (paper §3.5), ties by ID.
+	for a := range orderSet {
+		gp.order = append(gp.order, a)
+	}
+	sort.Slice(gp.order, func(i, j int) bool {
+		di := node.Rel.DistinctCount(gp.order[i])
+		dj := node.Rel.DistinctCount(gp.order[j])
+		if di != dj {
+			return di < dj
+		}
+		return gp.order[i] < gp.order[j]
+	})
+	gp.L = len(gp.order)
+	pc.depthIdx = make(map[data.AttrID]int, gp.L)
+	for d, a := range gp.order {
+		pc.depthIdx[a] = d
+	}
+	gp.depthSlots = make([][]slotSpec, gp.L)
+	gp.bindAt = make([][]int, gp.L)
+	gp.suffixes = make([][]suffixSpec, gp.L)
+	gp.emitsAt = make([][]int, gp.L)
+	pc.slotSigs = make([]map[string]int, gp.L)
+	pc.sfxSigs = make([]map[string]int, gp.L)
+	for d := 0; d < gp.L; d++ {
+		pc.slotSigs[d] = map[string]int{}
+		pc.sfxSigs[d] = map[string]int{}
+	}
+
+	// Input registration (paper: "each view is registered at the lowest
+	// attribute in the order that is a group-by attribute of V").
+	for i, id := range inputIDs {
+		in := inputSpec{
+			id:         id,
+			keyAttrs:   inKeys[i],
+			extraAttrs: inExtras[i],
+			bindDepth:  -1,
+			carried:    len(inExtras[i]) > 0,
+		}
+		for _, a := range in.keyAttrs {
+			d := pc.depthIdx[a]
+			in.keyDepths = append(in.keyDepths, d)
+			if d > in.bindDepth {
+				in.bindDepth = d
+			}
+		}
+		idx := len(gp.inputs)
+		gp.inputs = append(gp.inputs, in)
+		if in.bindDepth == -1 {
+			gp.globalBind = append(gp.globalBind, idx)
+		} else {
+			gp.bindAt[in.bindDepth] = append(gp.bindAt[in.bindDepth], idx)
+		}
+	}
+
+	// Aggregate registration per view column term.
+	for vi, v := range gp.views {
+		for ci, col := range v.Cols {
+			for ti, aggIdx := range col.Aggs {
+				if err := pc.registerTerm(p, vi, v, ci, col.Coefs[ti], v.Aggs[aggIdx]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	gp.sfxTabs = make([]suffixTab, gp.L)
+	for d := 0; d < gp.L; d++ {
+		gp.sfxTabs[d] = flattenSuffixes(gp.suffixes[d])
+	}
+	gp.buildEmitGroups()
+	return gp, nil
+}
+
+// buildEmitGroups batches emissions sharing (view, regDepth, key sources,
+// carried views) and registers the groups at their depths.
+func (gp *groupPlan) buildEmitGroups() {
+	sig := func(e *emitSpec) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "v%d@%d|", e.view, e.regDepth)
+		for _, ks := range e.keySrc {
+			fmt.Fprintf(&b, "k%d.%d.%d,", ks.carried, ks.depth, ks.extraCol)
+		}
+		b.WriteString("|")
+		for _, cr := range e.carried {
+			fmt.Fprintf(&b, "c%d,", cr.input)
+		}
+		return b.String()
+	}
+	idx := map[string]int{}
+	for ei := range gp.emits {
+		e := &gp.emits[ei]
+		k := sig(e)
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(gp.emitGroups)
+			g := emitGroup{view: e.view, regDepth: e.regDepth, keySrc: e.keySrc}
+			for _, cr := range e.carried {
+				g.carriedInputs = append(g.carriedInputs, cr.input)
+			}
+			gp.emitGroups = append(gp.emitGroups, g)
+			idx[k] = gi
+			if e.regDepth == -1 {
+				gp.emitsScalar = append(gp.emitsScalar, gi)
+			} else {
+				gp.emitsAt[e.regDepth] = append(gp.emitsAt[e.regDepth], gi)
+			}
+		}
+		ge := groupEmit{col: e.col, coef: e.coef, prefix: e.prefix, suffix: e.suffix}
+		for _, cr := range e.carried {
+			ge.carriedCols = append(ge.carriedCols, cr.col)
+		}
+		gp.emitGroups[gi].emits = append(gp.emitGroups[gi].emits, ge)
+	}
+}
+
+// registerTerm decomposes one product aggregate into slots, a suffix chain
+// and an emission.
+func (pc *planCompiler) registerTerm(p *core.Plan, vi int, v *core.View, col int, coef float64, pa core.ProdAgg) error {
+	gp := pc.gp
+	e := emitSpec{view: vi, col: col, coef: coef, regDepth: -1}
+
+	// Partition local factors by depth; fold constants into the coefficient.
+	localByDepth := make(map[int][]query.Factor)
+	var leafFactors []query.Factor
+	for _, f := range pa.Factors {
+		switch {
+		case !f.HasAttr():
+			e.coef *= f.Value
+		default:
+			if d, ok := pc.depthIdx[f.Attr]; ok {
+				localByDepth[d] = append(localByDepth[d], f)
+			} else {
+				if !gp.node.HasAttr(f.Attr) {
+					return fmt.Errorf("moo: factor attribute %d not in node %q", f.Attr, gp.node.Rel.Name)
+				}
+				leafFactors = append(leafFactors, f)
+			}
+		}
+	}
+
+	// Registration depth: deepest order-resident group-by attribute and
+	// deepest carried-view binding.
+	for _, g := range v.GroupBy {
+		if d, ok := pc.depthIdx[g]; ok && gp.node.HasAttr(g) {
+			if d > e.regDepth {
+				e.regDepth = d
+			}
+		}
+	}
+	type carriedIn struct {
+		inputIdx int
+		ref      core.InputRef
+	}
+	var carriedIns []carriedIn
+	var scalarIns []carriedIn
+	for _, in := range pa.Inputs {
+		ii, ok := pc.inputIdx[in.View]
+		if !ok {
+			return fmt.Errorf("moo: unregistered input view %d", in.View)
+		}
+		if gp.inputs[ii].carried {
+			carriedIns = append(carriedIns, carriedIn{ii, in})
+			if bd := gp.inputs[ii].bindDepth; bd > e.regDepth {
+				e.regDepth = bd
+			}
+		} else {
+			scalarIns = append(scalarIns, carriedIn{ii, in})
+		}
+	}
+	for _, c := range carriedIns {
+		e.carried = append(e.carried, carriedRef{input: c.inputIdx, col: c.ref.Agg})
+	}
+
+	// Assemble per-depth slot lists.
+	suffixSlots := make([][]int, gp.L) // depth → slot indices (depth > regDepth)
+	addSlot := func(depth int, spec slotSpec, sig string) {
+		var idx int
+		if depth == -1 {
+			idx = pc.internGlobal(spec, sig)
+		} else {
+			idx = pc.internDepth(depth, spec, sig)
+		}
+		if depth <= e.regDepth {
+			e.prefix = append(e.prefix, slotRef{depth: depth, idx: idx})
+		} else {
+			suffixSlots[depth] = append(suffixSlots[depth], idx)
+		}
+	}
+	var depths []int
+	for d := range localByDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		fs := localByDepth[d]
+		sortFactors(fs)
+		addSlot(d, pc.makeLocalSlot(fs), localSig(fs))
+	}
+	for _, s := range scalarIns {
+		spec := slotSpec{kind: lookupSlot, input: s.inputIdx, col: s.ref.Agg}
+		addSlot(gp.inputs[s.inputIdx].bindDepth, spec, fmt.Sprintf("lk%d.%d", s.inputIdx, s.ref.Agg))
+	}
+
+	// Leaf slot terminates every chain (the row-level count/row-factor sum).
+	sortFactors(leafFactors)
+	leafID := pc.internLeaf(leafFactors)
+
+	// Build the suffix chain bottom-up from the leaf.
+	next := leafID
+	for d := gp.L - 1; d > e.regDepth; d-- {
+		slots := suffixSlots[d]
+		sort.Ints(slots)
+		next = pc.internSuffix(d, slots, next)
+	}
+	e.suffix = next
+
+	// Key sources: order-resident attributes, then carried extras, in
+	// view.GroupBy order.
+	for _, g := range v.GroupBy {
+		if d, ok := pc.depthIdx[g]; ok && gp.node.HasAttr(g) {
+			e.keySrc = append(e.keySrc, keySource{carried: -1, depth: d})
+			continue
+		}
+		found := false
+		for ci, c := range e.carried {
+			in := &gp.inputs[c.input]
+			gbAttrs := p.Views[in.id].GroupBy
+			for _, ea := range in.extraAttrs {
+				if ea != g {
+					continue
+				}
+				for ep, ga := range gbAttrs {
+					if ga == g {
+						e.keySrc = append(e.keySrc, keySource{carried: ci, extraCol: ep})
+						found = true
+						break
+					}
+				}
+				break
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("moo: group-by attribute %d of view %d has no source", g, v.ID)
+		}
+	}
+
+	gp.emits = append(gp.emits, e)
+	return nil
+}
+
+func (pc *planCompiler) makeLocalSlot(fs []query.Factor) slotSpec {
+	spec := slotSpec{kind: localSlot, factors: fs}
+	if pc.compiled {
+		spec.fn = composeFactors(fs)
+	}
+	return spec
+}
+
+// composeFactors folds a factor product into one closure — the closure
+// analogue of the paper's inlined function calls.
+func composeFactors(fs []query.Factor) func(float64) float64 {
+	switch len(fs) {
+	case 0:
+		return func(float64) float64 { return 1 }
+	case 1:
+		return fs[0].Compile()
+	case 2:
+		a, b := fs[0].Compile(), fs[1].Compile()
+		return func(x float64) float64 { return a(x) * b(x) }
+	default:
+		compiled := make([]func(float64) float64, len(fs))
+		for i, f := range fs {
+			compiled[i] = f.Compile()
+		}
+		return func(x float64) float64 {
+			p := 1.0
+			for _, fn := range compiled {
+				p *= fn(x)
+			}
+			return p
+		}
+	}
+}
+
+// composeRow builds the per-row product closure over resolved columns.
+func composeRow(fs []query.Factor, cols []data.Column) func(int) float64 {
+	acc := make([]func(int) float64, len(fs))
+	for i, f := range fs {
+		fn := f.Compile()
+		if cols[i].IsInt() {
+			ints := cols[i].Ints
+			acc[i] = func(r int) float64 { return fn(float64(ints[r])) }
+		} else {
+			flts := cols[i].Floats
+			acc[i] = func(r int) float64 { return fn(flts[r]) }
+		}
+	}
+	switch len(acc) {
+	case 1:
+		return acc[0]
+	case 2:
+		a, b := acc[0], acc[1]
+		return func(r int) float64 { return a(r) * b(r) }
+	default:
+		return func(r int) float64 {
+			p := 1.0
+			for _, fn := range acc {
+				p *= fn(r)
+			}
+			return p
+		}
+	}
+}
+
+// Interning note: sharing partial products, lookups and running-sum chains
+// across aggregates via local variables is part of the paper's Compilation
+// layer ("introduction of local variables [to] maximize the computation
+// sharing across many aggregates", "reuse of arithmetic operations"). The
+// interpreted AC/DC proxy therefore skips deduplication and recomputes each
+// aggregate's partials independently.
+
+func (pc *planCompiler) internDepth(d int, spec slotSpec, sig string) int {
+	if i, ok := pc.slotSigs[d][sig]; ok && pc.compiled {
+		return i
+	}
+	i := len(pc.gp.depthSlots[d])
+	pc.gp.depthSlots[d] = append(pc.gp.depthSlots[d], spec)
+	pc.slotSigs[d][sig] = i
+	return i
+}
+
+func (pc *planCompiler) internGlobal(spec slotSpec, sig string) int {
+	if i, ok := pc.globalSig[sig]; ok && pc.compiled {
+		return i
+	}
+	i := len(pc.gp.globalSlots)
+	pc.gp.globalSlots = append(pc.gp.globalSlots, spec)
+	pc.globalSig[sig] = i
+	return i
+}
+
+func (pc *planCompiler) internLeaf(fs []query.Factor) int {
+	sig := localSig(fs)
+	if i, ok := pc.leafSig[sig]; ok && pc.compiled {
+		return i
+	}
+	ls := leafSlot{factors: fs, compiled: pc.compiled}
+	for _, f := range fs {
+		ls.cols = append(ls.cols, pc.gp.node.Rel.MustCol(f.Attr))
+	}
+	i := len(pc.gp.leafSlots)
+	pc.gp.leafSlots = append(pc.gp.leafSlots, ls)
+	pc.leafSig[sig] = i
+	return i
+}
+
+func (pc *planCompiler) internSuffix(d int, slots []int, next int) int {
+	parts := make([]string, len(slots))
+	for i, s := range slots {
+		parts[i] = fmt.Sprint(s)
+	}
+	sig := strings.Join(parts, ",") + "|" + fmt.Sprint(next)
+	if i, ok := pc.sfxSigs[d][sig]; ok && pc.compiled {
+		return i
+	}
+	i := len(pc.gp.suffixes[d])
+	pc.gp.suffixes[d] = append(pc.gp.suffixes[d], suffixSpec{slots: slots, next: next})
+	pc.sfxSigs[d][sig] = i
+	return i
+}
+
+func sortFactors(fs []query.Factor) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Attr != fs[j].Attr {
+			return fs[i].Attr < fs[j].Attr
+		}
+		return fs[i].Signature() < fs[j].Signature()
+	})
+}
+
+func localSig(fs []query.Factor) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.Signature()
+	}
+	return strings.Join(parts, "*")
+}
+
+// numSuffix returns the number of running-sum entries at depth d, where
+// depth L aliases the leaf slots.
+func (gp *groupPlan) numSuffix(d int) int {
+	if d == gp.L {
+		return len(gp.leafSlots)
+	}
+	return len(gp.suffixes[d])
+}
+
+// resolveLeafCols rebinds leaf slot columns against rel (the sorted copy may
+// differ from the relation used at compile time) and composes the per-row
+// closures in compiled mode.
+func (gp *groupPlan) resolveLeafCols() {
+	for i := range gp.leafSlots {
+		ls := &gp.leafSlots[i]
+		for j, f := range ls.factors {
+			ls.cols[j] = gp.rel.MustCol(f.Attr)
+		}
+		if ls.compiled && len(ls.factors) > 0 {
+			ls.rowFn = composeRow(ls.factors, ls.cols)
+		}
+	}
+}

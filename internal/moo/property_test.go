@@ -1,0 +1,185 @@
+package moo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// randomSnowflake builds fact F(k1..kd, m) with dims Di(ki, ci, pi) and an
+// optional second-level dim behind D0 (Census-style).
+func randomSnowflake(t *testing.T, rng *rand.Rand) (*data.Database, []data.AttrID, []data.AttrID, []data.AttrID) {
+	t.Helper()
+	db := data.NewDatabase()
+	dims := 2 + rng.Intn(2)
+	dom := 4 + rng.Intn(4)
+	factRows := 30 + rng.Intn(60)
+
+	var keys, cats, nums []data.AttrID
+	factAttrs := []data.AttrID{}
+	factCols := []data.Column{}
+	for d := 0; d < dims; d++ {
+		k := db.Attr(fmt.Sprintf("k%d", d), data.Key)
+		keys = append(keys, k)
+		factAttrs = append(factAttrs, k)
+		factCols = append(factCols, data.NewIntColumn(uniform(rng, factRows, dom)))
+	}
+	m := db.Attr("m", data.Numeric)
+	nums = append(nums, m)
+	factAttrs = append(factAttrs, m)
+	factCols = append(factCols, data.NewFloatColumn(floats(rng, factRows)))
+	if err := db.AddRelation(data.NewRelation("F", factAttrs, factCols)); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dims; d++ {
+		c := db.Attr(fmt.Sprintf("c%d", d), data.Key)
+		p := db.Attr(fmt.Sprintf("p%d", d), data.Numeric)
+		cats = append(cats, c)
+		nums = append(nums, p)
+		kv := make([]int64, dom)
+		for i := range kv {
+			kv[i] = int64(i)
+		}
+		if err := db.AddRelation(data.NewRelation(fmt.Sprintf("D%d", d),
+			[]data.AttrID{keys[d], c, p},
+			[]data.Column{data.NewIntColumn(kv),
+				data.NewIntColumn(uniform(rng, dom, 3)),
+				data.NewFloatColumn(floats(rng, dom))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second-level dimension behind D0's category attribute.
+	deep := db.Attr("deep", data.Key)
+	dv := make([]int64, 3)
+	pv := make([]float64, 3)
+	for i := range dv {
+		dv[i] = int64(i)
+		pv[i] = float64(i) + 0.25
+	}
+	deepP := db.Attr("deep_p", data.Numeric)
+	nums = append(nums, deepP)
+	cats = append(cats, deep)
+	if err := db.AddRelation(data.NewRelation("Deep",
+		[]data.AttrID{cats[0], deep, deepP},
+		[]data.Column{
+			data.NewIntColumn([]int64{0, 1, 2}),
+			data.NewIntColumn(dv),
+			data.NewFloatColumn(pv)})); err != nil {
+		t.Fatal(err)
+	}
+	return db, keys, cats, nums
+}
+
+func uniform(rng *rand.Rand, n, dom int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(dom))
+	}
+	return out
+}
+
+func floats(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(8)) + 0.5
+	}
+	return out
+}
+
+// Property: random snowflake schemas with random batches agree with brute
+// force under the default (fully optimized) and AC/DC configurations.
+func TestRandomSnowflakeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		db, _, cats, nums := randomSnowflake(t, rng)
+		var qs []*query.Query
+		for qi := 0; qi < 1+rng.Intn(3); qi++ {
+			var gb []data.AttrID
+			for _, c := range cats {
+				if rng.Intn(3) == 0 {
+					gb = append(gb, c)
+				}
+			}
+			var aggs []query.Aggregate
+			aggs = append(aggs, query.CountAgg())
+			for ai := 0; ai < rng.Intn(3); ai++ {
+				a := nums[rng.Intn(len(nums))]
+				b := nums[rng.Intn(len(nums))]
+				aggs = append(aggs, query.SumProdAgg(a, b))
+			}
+			qs = append(qs, query.NewQuery(fmt.Sprintf("q%d", qi), gb, aggs...))
+		}
+		base, err := baseline.New(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Run(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{DefaultOptions(), ACDCOptions()} {
+			eng, err := NewEngine(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run(qs)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for qi := range qs {
+				compareResults(t, fmt.Sprintf("trial%d/%s", trial, qs[qi].Name),
+					res.Results[qi], want[qi])
+			}
+		}
+	}
+}
+
+// Property: results are identical across repeated runs of the same engine
+// (the sort cache and emission-group machinery must be stateless w.r.t.
+// results).
+func TestRunDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	db, _, cats, nums := randomSnowflake(t, rng)
+	qs := []*query.Query{
+		query.NewQuery("a", []data.AttrID{cats[0]}, query.CountAgg(), query.SumAgg(nums[0])),
+		query.NewQuery("b", nil, query.SumProdAgg(nums[0], nums[1])),
+	}
+	eng, err := NewEngine(db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := eng.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		r2, err := eng.Run(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range qs {
+			a, b := r1.Results[qi], r2.Results[qi]
+			if a.NumRows() != b.NumRows() {
+				t.Fatalf("rep %d query %d: row counts differ", rep, qi)
+			}
+			for i := 0; i < a.NumRows(); i++ {
+				j := b.Lookup(a.Key(i)...)
+				if j < 0 {
+					t.Fatalf("rep %d: key %v lost", rep, a.Key(i))
+				}
+				for col := 0; col < a.Stride; col++ {
+					if a.Val(i, col) != b.Val(j, col) {
+						t.Fatalf("rep %d: value drift at %v col %d", rep, a.Key(i), col)
+					}
+				}
+			}
+		}
+	}
+}

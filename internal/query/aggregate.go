@@ -1,0 +1,203 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Term is a product of factors with a scalar coefficient.
+type Term struct {
+	Coef    float64
+	Factors []Factor
+}
+
+// NewTerm builds a term with coefficient 1.
+func NewTerm(factors ...Factor) Term { return Term{Coef: 1, Factors: factors} }
+
+// Scaled returns a copy of the term with the coefficient multiplied by c.
+func (t Term) Scaled(c float64) Term {
+	t.Coef *= c
+	t.Factors = append([]Factor(nil), t.Factors...)
+	return t
+}
+
+// Attrs appends the term's attributes to dst (deduplicated, sorted).
+func (t Term) Attrs(dst []data.AttrID) []data.AttrID {
+	for _, f := range t.Factors {
+		if f.HasAttr() {
+			dst = append(dst, f.Attr)
+		}
+	}
+	return dedupAttrs(dst)
+}
+
+// Signature returns a structural identity string. Factor order within a term
+// is not semantically meaningful, so signatures sort factor signatures.
+func (t Term) Signature() string {
+	sigs := make([]string, len(t.Factors))
+	for i, f := range t.Factors {
+		sigs[i] = f.Signature()
+	}
+	sort.Strings(sigs)
+	return fmt.Sprintf("%g*%s", t.Coef, strings.Join(sigs, "*"))
+}
+
+// Aggregate is a SUM over a sum of products of factors: α = Σ_j c_j Π_k f_jk.
+type Aggregate struct {
+	Name  string
+	Terms []Term
+}
+
+// NewAggregate builds an aggregate from terms.
+func NewAggregate(name string, terms ...Term) Aggregate {
+	return Aggregate{Name: name, Terms: terms}
+}
+
+// CountAgg is SUM(1).
+func CountAgg() Aggregate {
+	return Aggregate{Name: "count", Terms: []Term{NewTerm()}}
+}
+
+// SumAgg is SUM(attr).
+func SumAgg(attr data.AttrID) Aggregate {
+	return Aggregate{Name: fmt.Sprintf("sum(x%d)", attr), Terms: []Term{NewTerm(IdentF(attr))}}
+}
+
+// SumProdAgg is SUM(Π attrs).
+func SumProdAgg(attrs ...data.AttrID) Aggregate {
+	fs := make([]Factor, len(attrs))
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		fs[i] = IdentF(a)
+		names[i] = fmt.Sprintf("x%d", a)
+	}
+	return Aggregate{
+		Name:  "sum(" + strings.Join(names, "*") + ")",
+		Terms: []Term{NewTerm(fs...)},
+	}
+}
+
+// SumPowAgg is SUM(attr^exp).
+func SumPowAgg(attr data.AttrID, exp int) Aggregate {
+	if exp == 1 {
+		return SumAgg(attr)
+	}
+	return Aggregate{
+		Name:  fmt.Sprintf("sum(x%d^%d)", attr, exp),
+		Terms: []Term{NewTerm(PowF(attr, exp))},
+	}
+}
+
+// Attrs returns the sorted, deduplicated attributes read by the aggregate.
+func (a Aggregate) Attrs() []data.AttrID {
+	var dst []data.AttrID
+	for _, t := range a.Terms {
+		for _, f := range t.Factors {
+			if f.HasAttr() {
+				dst = append(dst, f.Attr)
+			}
+		}
+	}
+	return dedupAttrs(dst)
+}
+
+// Signature returns a structural identity string. Term order is not
+// semantically meaningful.
+func (a Aggregate) Signature() string {
+	sigs := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		sigs[i] = t.Signature()
+	}
+	sort.Strings(sigs)
+	return strings.Join(sigs, "+")
+}
+
+// Dynamic reports whether any factor is a dynamic UDF.
+func (a Aggregate) Dynamic() bool {
+	for _, t := range a.Terms {
+		for _, f := range t.Factors {
+			if f.Dynamic {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Query is one group-by aggregate batch member:
+// Q(GroupBy; Aggs) += natural join of the database.
+type Query struct {
+	Name    string
+	GroupBy []data.AttrID
+	Aggs    []Aggregate
+}
+
+// NewQuery builds a query. Group-by attributes are deduplicated and sorted
+// (the head of Q is a set; output ordering is not part of query semantics).
+func NewQuery(name string, groupBy []data.AttrID, aggs ...Aggregate) *Query {
+	return &Query{Name: name, GroupBy: dedupAttrs(append([]data.AttrID(nil), groupBy...)), Aggs: aggs}
+}
+
+// Attrs returns all attributes referenced by the query (group-by plus
+// aggregate inputs), sorted and deduplicated.
+func (q *Query) Attrs() []data.AttrID {
+	dst := append([]data.AttrID(nil), q.GroupBy...)
+	for _, a := range q.Aggs {
+		dst = append(dst, a.Attrs()...)
+	}
+	return dedupAttrs(dst)
+}
+
+// Validate checks the query against the database schema: every referenced
+// attribute must exist in some relation, and group-by attributes must be
+// discrete.
+func (q *Query) Validate(db *data.Database) error {
+	for _, g := range q.GroupBy {
+		if int(g) >= db.NumAttrs() || g < 0 {
+			return fmt.Errorf("query %q: unknown group-by attribute %d", q.Name, g)
+		}
+		if !db.Attribute(g).Kind.Discrete() {
+			return fmt.Errorf("query %q: group-by attribute %q is numeric; only discrete attributes can be group-by keys",
+				q.Name, db.Attribute(g).Name)
+		}
+	}
+	for _, a := range q.Attrs() {
+		if int(a) >= db.NumAttrs() || a < 0 {
+			return fmt.Errorf("query %q: unknown attribute %d", q.Name, a)
+		}
+		found := false
+		for _, rel := range db.Relations() {
+			if rel.HasAttr(a) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("query %q: attribute %q appears in no relation",
+				q.Name, db.Attribute(a).Name)
+		}
+	}
+	for _, agg := range q.Aggs {
+		if len(agg.Terms) == 0 {
+			return fmt.Errorf("query %q: aggregate %q has no terms", q.Name, agg.Name)
+		}
+	}
+	return nil
+}
+
+func dedupAttrs(ids []data.AttrID) []data.AttrID {
+	if len(ids) <= 1 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

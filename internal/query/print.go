@@ -1,0 +1,94 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Pretty-printing of queries in the paper's compact syntax
+// Q(F1,…,Ff; α1,…,αl) += R1(ω1),…,Rm(ωm) — used by EXPLAIN output, examples
+// and error messages.
+
+// FormatFactor renders a factor with attribute names resolved against db.
+func FormatFactor(db *data.Database, f Factor) string {
+	name := func(a data.AttrID) string {
+		if db != nil && int(a) < db.NumAttrs() {
+			return db.Attribute(a).Name
+		}
+		return fmt.Sprintf("x%d", a)
+	}
+	switch f.Kind {
+	case Const:
+		return fmt.Sprintf("%g", f.Value)
+	case Ident:
+		return name(f.Attr)
+	case Pow:
+		return fmt.Sprintf("%s^%d", name(f.Attr), f.Exp)
+	case Indicator:
+		return fmt.Sprintf("1[%s %s %g]", name(f.Attr), f.Op, f.Threshold)
+	case InSet:
+		parts := make([]string, len(f.Set))
+		for i, v := range f.Set {
+			parts[i] = fmt.Sprint(v)
+		}
+		return fmt.Sprintf("1[%s in {%s}]", name(f.Attr), strings.Join(parts, ","))
+	case Log:
+		return fmt.Sprintf("log(%s)", name(f.Attr))
+	case Custom:
+		suffix := ""
+		if f.Dynamic {
+			suffix = "!"
+		}
+		return fmt.Sprintf("%s%s(%s)", f.Name, suffix, name(f.Attr))
+	}
+	return "?"
+}
+
+// FormatTerm renders a product term.
+func FormatTerm(db *data.Database, t Term) string {
+	if len(t.Factors) == 0 {
+		return fmt.Sprintf("%g", t.Coef)
+	}
+	parts := make([]string, len(t.Factors))
+	for i, f := range t.Factors {
+		parts[i] = FormatFactor(db, f)
+	}
+	body := strings.Join(parts, "·")
+	if t.Coef == 1 {
+		return body
+	}
+	return fmt.Sprintf("%g·%s", t.Coef, body)
+}
+
+// FormatAggregate renders a sum of products.
+func FormatAggregate(db *data.Database, a Aggregate) string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = FormatTerm(db, t)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Format renders the query in the paper's compact syntax.
+func (q *Query) Format(db *data.Database) string {
+	var head []string
+	if db != nil {
+		head = db.AttrNames(q.GroupBy)
+	} else {
+		for _, g := range q.GroupBy {
+			head = append(head, fmt.Sprintf("x%d", g))
+		}
+	}
+	aggs := make([]string, len(q.Aggs))
+	for i, a := range q.Aggs {
+		aggs[i] = FormatAggregate(db, a)
+	}
+	sep := ""
+	if len(head) > 0 {
+		sep = "; "
+	}
+	return fmt.Sprintf("%s(%s%sSUM %s)", q.Name, strings.Join(head, ", "), sep,
+		strings.Join(aggs, ", SUM "))
+}

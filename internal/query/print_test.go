@@ -1,0 +1,76 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func printDB(t *testing.T) *data.Database {
+	t.Helper()
+	db := data.NewDatabase()
+	db.Attr("store", data.Key)
+	db.Attr("price", data.Numeric)
+	db.Attr("units", data.Numeric)
+	return db
+}
+
+func TestFormatFactor(t *testing.T) {
+	db := printDB(t)
+	cases := []struct {
+		f    Factor
+		want string
+	}{
+		{ConstF(2.5), "2.5"},
+		{IdentF(1), "price"},
+		{PowF(2, 2), "units^2"},
+		{IndicatorF(1, LE, 5), "1[price <= 5]"},
+		{InSetF(0, []int64{1, 2}), "1[store in {1,2}]"},
+		{LogF(1), "log(price)"},
+		{CustomF("sq", 1, nil), "sq(price)"},
+		{DynamicF("cond", 1, nil), "cond!(price)"},
+	}
+	for _, c := range cases {
+		if got := FormatFactor(db, c.f); got != c.want {
+			t.Errorf("FormatFactor = %q, want %q", got, c.want)
+		}
+	}
+	// Without a database, attribute IDs render positionally.
+	if got := FormatFactor(nil, IdentF(3)); got != "x3" {
+		t.Errorf("nil-db format = %q", got)
+	}
+}
+
+func TestFormatTermAndAggregate(t *testing.T) {
+	db := printDB(t)
+	term := NewTerm(IdentF(1), IdentF(2)).Scaled(2)
+	if got := FormatTerm(db, term); got != "2·price·units" {
+		t.Errorf("FormatTerm = %q", got)
+	}
+	if got := FormatTerm(db, NewTerm()); got != "1" {
+		t.Errorf("empty term = %q", got)
+	}
+	agg := NewAggregate("a", NewTerm(IdentF(1)), NewTerm(PowF(2, 2)).Scaled(-1))
+	if got := FormatAggregate(db, agg); got != "price + -1·units^2" {
+		t.Errorf("FormatAggregate = %q", got)
+	}
+}
+
+func TestQueryFormat(t *testing.T) {
+	db := printDB(t)
+	q := NewQuery("q", []data.AttrID{0}, SumAgg(1), CountAgg())
+	got := q.Format(db)
+	for _, want := range []string{"q(store; ", "SUM price", "SUM 1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format = %q missing %q", got, want)
+		}
+	}
+	scalar := NewQuery("s", nil, CountAgg())
+	if strings.Contains(scalar.Format(db), ";") {
+		t.Errorf("scalar format has separator: %q", scalar.Format(db))
+	}
+	if !strings.Contains(scalar.Format(nil), "SUM 1") {
+		t.Errorf("nil-db scalar format = %q", scalar.Format(nil))
+	}
+}

@@ -1,0 +1,162 @@
+// Package workloads assembles the paper's four benchmark aggregate batches
+// (§4.1) for a generated dataset: the covar matrix (CM), a regression-tree
+// node (RT), all-pairs mutual information (MI) and a data cube (DC), plus
+// the count query used as the sharing yardstick.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/ml/cube"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/tree"
+	"repro/internal/query"
+)
+
+// Names lists the workload identifiers in paper order.
+func Names() []string { return []string{"count", "covar", "rtnode", "mi", "cube"} }
+
+// Count returns the single count query (Table 3's baseline row).
+func Count(ds *datagen.Dataset) []*query.Query {
+	return []*query.Query{query.NewQuery("count", nil, query.CountAgg())}
+}
+
+// LinRegSpec derives the regression feature specification the paper uses for
+// the dataset: all continuous attributes (less the label), the categorical
+// attributes, label per §4.2.
+func LinRegSpec(ds *datagen.Dataset) linreg.FeatureSpec {
+	spec := linreg.FeatureSpec{Label: regressionLabel(ds), Lambda: 1e-3}
+	for _, a := range ds.Continuous {
+		if a != spec.Label {
+			spec.Continuous = append(spec.Continuous, a)
+		}
+	}
+	spec.Categorical = append(spec.Categorical, ds.Categorical...)
+	return spec
+}
+
+// regressionLabel picks the dataset label when numeric, otherwise the first
+// continuous attribute (TPC-DS's label is categorical; its regression-style
+// workloads predict net profit instead).
+func regressionLabel(ds *datagen.Dataset) data.AttrID {
+	if ds.DB.Attribute(ds.Label).Kind == data.Numeric {
+		return ds.Label
+	}
+	return ds.Continuous[len(ds.Continuous)-1]
+}
+
+// CovarMatrix builds the covar-matrix batch (workload CM).
+func CovarMatrix(ds *datagen.Dataset) []*query.Query {
+	return linreg.CovarBatch(LinRegSpec(ds))
+}
+
+// RTSpec derives the regression-tree specification for the dataset.
+func RTSpec(ds *datagen.Dataset) tree.Spec {
+	label := regressionLabel(ds)
+	spec := tree.DefaultSpec(tree.Regression, label)
+	for _, a := range ds.Continuous {
+		if a != label {
+			spec.Continuous = append(spec.Continuous, a)
+		}
+	}
+	spec.Categorical = append(spec.Categorical, ds.Categorical...)
+	return spec
+}
+
+// CTSpec derives the classification-tree specification (TPC-DS: predict the
+// preferred-customer flag).
+func CTSpec(ds *datagen.Dataset) tree.Spec {
+	spec := tree.DefaultSpec(tree.Classification, ds.Label)
+	spec.Continuous = append(spec.Continuous, ds.Continuous...)
+	for _, a := range ds.Categorical {
+		if a != ds.Label {
+			spec.Categorical = append(spec.Categorical, a)
+		}
+	}
+	return spec
+}
+
+// RTNode builds the single regression-tree-node batch (workload RT): the
+// candidate-split statistics for a node two conditions deep, matching the
+// paper's "single node in a regression tree".
+func RTNode(ds *datagen.Dataset) ([]*query.Query, error) {
+	spec := RTSpec(ds)
+	thresholds, err := tree.Thresholds(ds.DB, spec)
+	if err != nil {
+		return nil, err
+	}
+	conds := SampleConditions(spec, thresholds, 2)
+	return tree.NodeBatch(spec, conds, thresholds), nil
+}
+
+// SampleConditions picks n ancestor conditions (median thresholds of the
+// first continuous attributes) to define the evaluated node's fragment.
+func SampleConditions(spec tree.Spec, thresholds map[data.AttrID][]float64, n int) []tree.Condition {
+	var conds []tree.Condition
+	attrs := append([]data.AttrID(nil), spec.Continuous...)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+	for _, a := range attrs {
+		ts := thresholds[a]
+		if len(ts) == 0 {
+			continue
+		}
+		op := query.LE
+		if len(conds)%2 == 1 {
+			op = query.GT
+		}
+		conds = append(conds, tree.Condition{
+			Attr: a, Continuous: true, Op: op, Threshold: ts[len(ts)/2],
+		})
+		if len(conds) == n {
+			break
+		}
+	}
+	return conds
+}
+
+// MutualInfo builds the all-pairs MI batch (workload MI).
+func MutualInfo(ds *datagen.Dataset) []*query.Query {
+	return miBatch(ds.MIAttrs)
+}
+
+func miBatch(attrs []data.AttrID) []*query.Query {
+	queries := []*query.Query{query.NewQuery("mi_total", nil, query.CountAgg())}
+	for _, a := range attrs {
+		queries = append(queries, query.NewQuery(fmt.Sprintf("mi_%d", a),
+			[]data.AttrID{a}, query.CountAgg()))
+	}
+	for i, a := range attrs {
+		for _, b := range attrs[i+1:] {
+			queries = append(queries, query.NewQuery(fmt.Sprintf("mi_%d_%d", a, b),
+				[]data.AttrID{a, b}, query.CountAgg()))
+		}
+	}
+	return queries
+}
+
+// DataCube builds the 3-dimension, 5-measure cube batch (workload DC,
+// matching the paper's setup: "three dimensions and five measures").
+func DataCube(ds *datagen.Dataset) []*query.Query {
+	return cube.Batch(cube.Spec{Dims: ds.CubeDims, Measures: ds.CubeMeasures})
+}
+
+// ByName returns the named workload batch.
+func ByName(name string, ds *datagen.Dataset) ([]*query.Query, error) {
+	switch name {
+	case "count":
+		return Count(ds), nil
+	case "covar":
+		return CovarMatrix(ds), nil
+	case "rtnode":
+		return RTNode(ds)
+	case "mi":
+		return MutualInfo(ds), nil
+	case "cube":
+		return DataCube(ds), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q (want count|covar|rtnode|mi|cube)", name)
+	}
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/query"
+)
+
+func tinyDataset(t *testing.T, name string) *datagen.Dataset {
+	t.Helper()
+	build, err := datagen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := build(datagen.Config{Scale: 0.0002, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAllWorkloadsBuildAndValidate(t *testing.T) {
+	for _, name := range datagen.All() {
+		ds := tinyDataset(t, name)
+		for _, wl := range Names() {
+			batch, err := ByName(wl, ds)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, wl, err)
+			}
+			if len(batch) == 0 {
+				t.Fatalf("%s/%s: empty batch", name, wl)
+			}
+			for _, q := range batch {
+				if err := q.Validate(ds.DB); err != nil {
+					t.Errorf("%s/%s/%s: %v", name, wl, q.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	ds := tinyDataset(t, "favorita")
+	if _, err := ByName("nope", ds); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	ds := tinyDataset(t, "favorita")
+
+	if got := len(Count(ds)); got != 1 {
+		t.Fatalf("count batch = %d queries", got)
+	}
+	// MI: 1 total + n marginals + n(n-1)/2 pairs.
+	n := len(ds.MIAttrs)
+	if got := len(MutualInfo(ds)); got != 1+n+n*(n-1)/2 {
+		t.Fatalf("mi batch = %d queries, want %d", got, 1+n+n*(n-1)/2)
+	}
+	// Cube: 2^3 subsets.
+	if got := len(DataCube(ds)); got != 8 {
+		t.Fatalf("cube batch = %d queries", got)
+	}
+	// Covar: scalar + per-categorical + pairs.
+	k := len(ds.Categorical)
+	if got := len(CovarMatrix(ds)); got != 1+k+k*(k-1)/2 {
+		t.Fatalf("covar batch = %d queries", got)
+	}
+}
+
+func TestRTNodeHasConditions(t *testing.T) {
+	ds := tinyDataset(t, "retailer")
+	batch, err := RTNode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node's ancestor conditions appear as factors in the first
+	// aggregate of the scalar query.
+	if got := len(batch[0].Aggs[0].Terms[0].Factors); got != 2 {
+		t.Fatalf("node condition factors = %d, want 2", got)
+	}
+}
+
+func TestSpecsRespectLabelKinds(t *testing.T) {
+	for _, name := range datagen.All() {
+		ds := tinyDataset(t, name)
+		lr := LinRegSpec(ds)
+		if err := lr.Validate(ds.DB); err != nil {
+			t.Errorf("%s linreg spec: %v", name, err)
+		}
+		rt := RTSpec(ds)
+		if err := rt.Validate(ds.DB); err != nil {
+			t.Errorf("%s rt spec: %v", name, err)
+		}
+	}
+	tp := tinyDataset(t, "tpcds")
+	ct := CTSpec(tp)
+	if err := ct.Validate(tp.DB); err != nil {
+		t.Errorf("tpcds ct spec: %v", err)
+	}
+	// The classification label must not appear among its own features.
+	for _, a := range ct.Categorical {
+		if a == ct.Label {
+			t.Error("label leaked into categorical features")
+		}
+	}
+}
+
+// The paper's §1.2 narrative: Retailer's covar batch decomposes into
+// thousands of raw views that consolidate into a few dozen.
+func TestRetailerCovarConsolidation(t *testing.T) {
+	ds := tinyDataset(t, "retailer")
+	batch := CovarMatrix(ds)
+	plan, err := core.BuildPlan(ds.Tree, batch, core.PlanOptions{MultiRoot: true, MultiOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats
+	if s.AppAggregates < 500 {
+		t.Fatalf("A = %d, expected hundreds of covar aggregates", s.AppAggregates)
+	}
+	if s.RawViews != s.AppAggregates*(len(ds.Tree.Nodes)-1) {
+		t.Fatalf("raw views = %d, want A × edges = %d",
+			s.RawViews, s.AppAggregates*(len(ds.Tree.Nodes)-1))
+	}
+	if s.Views > 60 {
+		t.Fatalf("merged views = %d, expected a few dozen (paper: 34)", s.Views)
+	}
+	if s.Groups > 2*len(ds.Tree.Nodes) {
+		t.Fatalf("groups = %d for %d nodes", s.Groups, len(ds.Tree.Nodes))
+	}
+}
+
+func TestSampleConditionsAlternateOps(t *testing.T) {
+	ds := tinyDataset(t, "favorita")
+	spec := RTSpec(ds)
+	th := map[data.AttrID][]float64{}
+	for _, a := range spec.Continuous {
+		th[a] = []float64{1, 2, 3}
+	}
+	conds := SampleConditions(spec, th, 2)
+	if len(conds) != 2 {
+		t.Fatalf("conds = %d", len(conds))
+	}
+	if conds[0].Op == conds[1].Op {
+		t.Fatal("conditions should alternate operators")
+	}
+	_ = query.LE
+}

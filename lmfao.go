@@ -1,0 +1,181 @@
+// Package lmfao is a Go implementation of LMFAO — the Layered Multiple
+// Functional Aggregate Optimization engine of "A Layered Aggregate Engine for
+// Analytics Workloads" (Schleich, Olteanu, Abo Khamis, Ngo, Nguyen; SIGMOD
+// 2019): an in-memory optimization and execution engine for large batches of
+// group-by aggregates over the natural join of a relational database, plus
+// the analytics applications built on top of it.
+//
+// The engine never materializes the join. A batch of queries
+//
+//	Q(F1,...,Ff; α1,...,αl) += R1 ⋈ ... ⋈ Rm
+//
+// is decomposed over a join tree into directional views (Aggregate Pushdown),
+// consolidated (Merge Views), clustered into view groups (Group Views) and
+// evaluated by one shared trie-style scan per group (Multi-Output
+// Optimization), with closure-compiled factors and task/domain parallelism.
+//
+// # Quick start
+//
+//	db := lmfao.NewDatabase()
+//	store := db.Attr("store", lmfao.Key)
+//	sales := db.Attr("sales", lmfao.Numeric)
+//	... add relations ...
+//	eng, err := lmfao.NewEngine(db, lmfao.DefaultOptions())
+//	res, err := eng.Run([]*lmfao.Query{
+//	    lmfao.NewQuery("total", []lmfao.AttrID{store}, lmfao.Sum(sales)),
+//	})
+//
+// Applications: LinearRegression (ridge via the covar matrix), DecisionTree
+// (CART), ChowLiu (Bayesian network structure from mutual information) and
+// DataCube.
+package lmfao
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/codegen"
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// Core storage types.
+type (
+	// Database holds the attribute registry and base relations.
+	Database = data.Database
+	// Relation is an in-memory columnar relation.
+	Relation = data.Relation
+	// AttrID identifies an attribute within a database.
+	AttrID = data.AttrID
+	// Column stores the values of one attribute.
+	Column = data.Column
+	// Kind classifies attributes (Key, Categorical, Numeric).
+	Kind = data.Kind
+)
+
+// Attribute kinds.
+const (
+	Key         = data.Key
+	Categorical = data.Categorical
+	Numeric     = data.Numeric
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return data.NewDatabase() }
+
+// NewRelation constructs a columnar relation.
+func NewRelation(name string, attrs []AttrID, cols []Column) *Relation {
+	return data.NewRelation(name, attrs, cols)
+}
+
+// IntColumn wraps discrete values (keys, categorical codes).
+func IntColumn(vals []int64) Column { return data.NewIntColumn(vals) }
+
+// FloatColumn wraps numeric values.
+func FloatColumn(vals []float64) Column { return data.NewFloatColumn(vals) }
+
+// Query language types.
+type (
+	// Query is one group-by aggregate over the database's natural join.
+	Query = query.Query
+	// Aggregate is a sum of products of unary functions.
+	Aggregate = query.Aggregate
+	// Term is a product of factors with a coefficient.
+	Term = query.Term
+	// Factor is one unary function application.
+	Factor = query.Factor
+	// CmpOp is a comparison operator for Indicator factors.
+	CmpOp = query.CmpOp
+)
+
+// Comparison operators.
+const (
+	LE = query.LE
+	LT = query.LT
+	GE = query.GE
+	GT = query.GT
+	EQ = query.EQ
+	NE = query.NE
+)
+
+// NewQuery builds a query with the given group-by attributes and aggregates.
+func NewQuery(name string, groupBy []AttrID, aggs ...Aggregate) *Query {
+	return query.NewQuery(name, groupBy, aggs...)
+}
+
+// Count is SUM(1).
+func Count() Aggregate { return query.CountAgg() }
+
+// Sum is SUM(attr).
+func Sum(attr AttrID) Aggregate { return query.SumAgg(attr) }
+
+// SumProd is SUM(Π attrs).
+func SumProd(attrs ...AttrID) Aggregate { return query.SumProdAgg(attrs...) }
+
+// SumPow is SUM(attr^exp).
+func SumPow(attr AttrID, exp int) Aggregate { return query.SumPowAgg(attr, exp) }
+
+// NewAggregate builds an aggregate from terms.
+func NewAggregate(name string, terms ...Term) Aggregate { return query.NewAggregate(name, terms...) }
+
+// NewTerm builds a product term with coefficient 1.
+func NewTerm(factors ...Factor) Term { return query.NewTerm(factors...) }
+
+// Factor constructors.
+var (
+	ConstF     = query.ConstF
+	IdentF     = query.IdentF
+	PowF       = query.PowF
+	IndicatorF = query.IndicatorF
+	InSetF     = query.InSetF
+	LogF       = query.LogF
+	CustomF    = query.CustomF
+	DynamicF   = query.DynamicF
+)
+
+// Engine types.
+type (
+	// Engine evaluates aggregate batches with the layered architecture.
+	Engine = moo.Engine
+	// Options selects optimization levels (Figure 5 ablations).
+	Options = moo.Options
+	// BatchResult carries batch outputs and planning statistics.
+	BatchResult = moo.BatchResult
+	// Result is one query's materialized output.
+	Result = moo.ViewData
+	// JoinTree is the join tree the engine evaluates over.
+	JoinTree = jointree.Tree
+)
+
+// NewEngine builds the join tree for db (decomposing cyclic schemas via
+// hypertree bags) and returns an engine.
+func NewEngine(db *Database, opts Options) (*Engine, error) {
+	return moo.NewEngine(db, opts)
+}
+
+// NewEngineWithTree wraps an existing join tree.
+func NewEngineWithTree(db *Database, tree *JoinTree, opts Options) *Engine {
+	return moo.NewEngineWithTree(db, tree, opts)
+}
+
+// DefaultOptions enables every optimization layer.
+func DefaultOptions() Options { return moo.DefaultOptions() }
+
+// ACDCOptions disables every optimization (the paper's AC/DC proxy).
+func ACDCOptions() Options { return moo.ACDCOptions() }
+
+// BuildJoinTree constructs a join tree over the database's relations.
+func BuildJoinTree(db *Database) (*JoinTree, error) { return jointree.Build(db) }
+
+// GenerateSource emits specialized Go source for the batch — the analogue of
+// the paper's Compilation layer output (Figure 4).
+func GenerateSource(tree *JoinTree, queries []*Query) ([]byte, error) {
+	return codegen.Generate(tree, queries, codegen.DefaultOptions())
+}
+
+// Baseline is the materialize-then-scan competitor engine (the paper's
+// PostgreSQL / MonetDB / DBX proxy).
+type Baseline = baseline.Engine
+
+// NewBaseline builds a baseline engine over db.
+func NewBaseline(db *Database) (*Baseline, error) { return baseline.New(db) }
