@@ -40,8 +40,22 @@ func main() {
 		runs     = flag.Int("runs", 2, "timed runs to average (after one warm-up)")
 		datasets = flag.String("datasets", "", "comma-separated subset (default: all)")
 		threads  = flag.Int("threads", 0, "engine threads (default: min(4, NumCPU))")
+
+		update        = flag.Bool("update", false, "benchmark incremental maintenance vs full recompute (default dataset: retailer)")
+		updateFrac    = flag.Float64("update-frac", 0.01, "update-batch size as a fraction of the target relation's rows")
+		updateRel     = flag.String("update-rel", "", "relation to update (default: the dataset's largest)")
+		updateBatches = flag.Int("update-batches", 3, "update batches to apply and time")
 	)
 	flag.Parse()
+
+	if *update {
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.updateBench(updateDatasets(*datasets), *updateFrac, *updateRel, *updateBatches); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: update: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	names := datagen.All()
 	if *datasets != "" {

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	lmfao "repro"
+	"repro/internal/data"
+	"repro/internal/moo"
+	"repro/internal/workloads"
+)
+
+// updateBench measures incremental view maintenance (lmfao.Session.Apply)
+// against full recomputation: it runs the covar-matrix batch once, then
+// applies random update batches of -update-frac of the target relation's
+// rows (half inserts, half deletes) and times maintenance vs. re-running
+// the same plan from scratch over the mutated database.
+func (h *harness) updateBench(names []string, frac float64, relName string, batches int) error {
+	fmt.Printf("\nIncremental maintenance vs recompute (covar batch, delta = %.2g of relation, %d update batches)\n",
+		frac, batches)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\trelation\t+rows\t-rows\tdirty groups\tapply\trecompute\tspeedup")
+	for _, name := range names {
+		ds, err := h.dataset(name)
+		if err != nil {
+			return err
+		}
+		queries := workloads.CovarMatrix(ds)
+		opts := h.options()
+		opts.TrackCounts = true
+		eng := moo.NewEngineWithTree(ds.DB, ds.Tree, opts)
+		sess, err := lmfao.NewSessionWithEngine(eng, queries)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Run(); err != nil {
+			return err
+		}
+		// Recompute competitor: same options, persistent engine (its sort
+		// cache invalidates on every mutation, as any non-incremental
+		// engine's would — the data really changed).
+		recompute := moo.NewEngineWithTree(ds.DB, ds.Tree, opts)
+		if _, err := recompute.RunPlan(sess.Result().Plan); err != nil {
+			return err
+		}
+
+		rel := largestRelation(ds.DB)
+		if relName != "" {
+			if rel = ds.DB.Relation(relName); rel == nil {
+				return fmt.Errorf("%s: unknown relation %q", name, relName)
+			}
+		}
+		rng := rand.New(rand.NewSource(h.seed))
+		var applyTotal, recomputeTotal time.Duration
+		var insTotal, delTotal, dirtyGroups, totalGroups int
+		for b := 0; b < batches; b++ {
+			delta := randomDelta(rng, rel, frac)
+			start := time.Now()
+			stats, err := sess.Apply(delta)
+			if err != nil {
+				return err
+			}
+			applyTotal += time.Since(start)
+			for _, st := range stats {
+				if !st.Incremental {
+					return fmt.Errorf("%s: fell back to full recompute for %s", name, st.Relation)
+				}
+				dirtyGroups, totalGroups = st.DirtyGroups, st.TotalGroups
+			}
+			insTotal += delta.InsertRows()
+			delTotal += delta.DeleteRows()
+
+			start = time.Now()
+			if _, err := recompute.RunPlan(sess.Result().Plan); err != nil {
+				return err
+			}
+			recomputeTotal += time.Since(start)
+		}
+		speedup := float64(recomputeTotal) / float64(applyTotal)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d/%d\t%s\t%s\t%.1f×\n",
+			name, rel.Name, insTotal, delTotal, dirtyGroups, totalGroups,
+			fmtDur(applyTotal/time.Duration(batches)),
+			fmtDur(recomputeTotal/time.Duration(batches)), speedup)
+	}
+	return w.Flush()
+}
+
+func largestRelation(db *data.Database) *data.Relation {
+	var best *data.Relation
+	for _, r := range db.Relations() {
+		if best == nil || r.Len() > best.Len() {
+			best = r
+		}
+	}
+	return best
+}
+
+// randomDelta builds an update batch of about frac × rel.Len() rows: half
+// fresh inserts cloned from random existing tuples (numeric attributes
+// perturbed), half deletions of random existing tuples.
+func randomDelta(rng *rand.Rand, rel *data.Relation, frac float64) lmfao.Update {
+	n := int(frac * float64(rel.Len()))
+	if n < 2 {
+		n = 2
+	}
+	nIns, nDel := n/2, n-n/2
+	if nDel > rel.Len() {
+		nDel = rel.Len()
+	}
+
+	ins := make([]data.Column, len(rel.Cols))
+	rows := make([]int, nIns)
+	for i := range rows {
+		rows[i] = rng.Intn(rel.Len())
+	}
+	for ci, c := range rel.Cols {
+		if c.IsInt() {
+			vals := make([]int64, nIns)
+			for i, r := range rows {
+				vals[i] = c.Ints[r]
+			}
+			ins[ci] = data.NewIntColumn(vals)
+		} else {
+			vals := make([]float64, nIns)
+			for i, r := range rows {
+				vals[i] = c.Floats[r] * (1 + 0.125*float64(rng.Intn(3)-1))
+			}
+			ins[ci] = data.NewFloatColumn(vals)
+		}
+	}
+
+	del := make([]data.Column, len(rel.Cols))
+	idx := rng.Perm(rel.Len())[:nDel]
+	for ci, c := range rel.Cols {
+		if c.IsInt() {
+			vals := make([]int64, nDel)
+			for i, r := range idx {
+				vals[i] = c.Ints[r]
+			}
+			del[ci] = data.NewIntColumn(vals)
+		} else {
+			vals := make([]float64, nDel)
+			for i, r := range idx {
+				vals[i] = c.Floats[r]
+			}
+			del[ci] = data.NewFloatColumn(vals)
+		}
+	}
+	return lmfao.Update{Relation: rel.Name, Inserts: ins, Deletes: del}
+}
+
+// updateDatasets defaults the update benchmark to the retailer workload when
+// the user did not restrict datasets (the full sweep is slow).
+func updateDatasets(explicit string) []string {
+	if explicit != "" {
+		return strings.Split(explicit, ",")
+	}
+	return []string{"retailer"}
+}

@@ -15,6 +15,11 @@ type PlanOptions struct {
 	// MultiOutput groups independent views out of the same node into one
 	// shared scan (§3.5); disabled, each view is computed by its own scan.
 	MultiOutput bool
+	// TrackCounts appends a hidden tuple-count aggregate to every view
+	// (output views gain a trailing CountColName column) so the incremental
+	// maintenance layer can drop group-by keys whose join tuples have all
+	// been deleted. See internal/ivm.
+	TrackCounts bool
 }
 
 // Stats records the planner's consolidation numbers, matching the columns of
@@ -48,7 +53,14 @@ type Plan struct {
 	Groups     []*Group
 	// GroupDeps[g] lists the group IDs that must finish before group g.
 	GroupDeps [][]int
-	Stats     Stats
+	// Provenance[v] holds the sorted join-tree node IDs whose base
+	// relations feed view v (all nodes for output views). A delta against
+	// node p's relation dirties exactly the views with p in Provenance.
+	Provenance [][]int
+	// CountCol[v] is the column of view v holding its hidden tuple count,
+	// or nil when the plan was built without TrackCounts.
+	CountCol []int
+	Stats    Stats
 }
 
 // BuildPlan runs the logical layers — Find Roots, Aggregate Pushdown, Merge
@@ -68,6 +80,10 @@ func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Pla
 		return nil, err
 	}
 	views := mergeViews(raw, outputs)
+	var countCol []int
+	if opts.TrackCounts {
+		countCol = addCountAggs(t, views)
+	}
 	groups, deps, err := groupViews(views, opts.MultiOutput)
 	if err != nil {
 		return nil, err
@@ -81,6 +97,8 @@ func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Pla
 		OutputView: make([]int, len(queries)),
 		Groups:     groups,
 		GroupDeps:  deps,
+		Provenance: computeProvenance(t, views),
+		CountCol:   countCol,
 	}
 	totalAggs := 0
 	for _, v := range views {

@@ -24,6 +24,11 @@ type Relation struct {
 	// guards it because group plans compile concurrently.
 	distinctMu sync.Mutex
 	distinct   map[AttrID]int
+
+	// version counts in-place mutations (see Version); log records the
+	// applied deltas (see DeltaLog). Mutations must not race with reads.
+	version int64
+	log     []DeltaEntry
 }
 
 // NewRelation constructs a relation over the given attributes and columns.

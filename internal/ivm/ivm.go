@@ -1,0 +1,116 @@
+// Package ivm is the incremental view maintenance subsystem: given a plan's
+// per-view provenance and a delta against one base relation, it computes the
+// dirty subset of the view DAG and a maintenance schedule over it.
+//
+// The delta rules follow from the layered view DAG (paper §3.2) and the
+// pushdown invariant that every product aggregate references exactly one
+// input view per child edge:
+//
+//   - A view computed AT the changed node p re-evaluates over the delta
+//     tuples only, joined with its cached (clean) input views; deletes are
+//     negative-weight inserts because the aggregates live in the sum-product
+//     semiring.
+//   - A dirty view at another node n scans its unchanged base relation, but
+//     with every input view flowing from the neighbor toward p replaced by
+//     that view's delta. The changed node lies in exactly one neighbor
+//     subtree, so at most one factor per product changes — making the
+//     substituted scan compute exactly the view's delta.
+//   - Views whose provenance excludes p are untouched, as are their groups.
+//
+// The execution half (delta scans, merge into cached ViewData) lives in
+// internal/moo (Engine.Apply); the public API is lmfao.Session.
+package ivm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Step is one maintenance action: re-run a (subset of a) plan group to
+// produce the deltas of its dirty views.
+type Step struct {
+	// Group is the plan group ID the step derives from; Node its join-tree
+	// node.
+	Group int
+	Node  int
+	// Dirty lists the group's dirty view IDs (ascending), the views whose
+	// deltas the step computes. Clean views of the group are skipped: their
+	// cached data stays valid.
+	Dirty []int
+	// AtDelta is true when Node is the changed node: the scan runs over the
+	// delta tuples instead of the base relation.
+	AtDelta bool
+	// DeltaInputs lists the input view IDs (ascending) that must be read
+	// from the delta views computed by earlier steps rather than from the
+	// cache. Empty when AtDelta (inputs of views at the changed node are
+	// all clean).
+	DeltaInputs []int
+}
+
+// Schedule is the maintenance plan for one base-relation delta: the steps in
+// dependency order plus the overall dirty view set.
+type Schedule struct {
+	// Changed is the join-tree node whose relation changed.
+	Changed int
+	// Steps are ordered so every step's DeltaInputs are produced by earlier
+	// steps (group IDs ascend, matching the plan's wave construction).
+	Steps []Step
+	// DirtyViews lists all dirty view IDs, ascending.
+	DirtyViews []int
+}
+
+// Analyze computes the maintenance schedule for a delta against the base
+// relation at join-tree node `changed`. The plan must carry provenance
+// (always set by core.BuildPlan).
+func Analyze(p *core.Plan, changed int) (*Schedule, error) {
+	if changed < 0 || changed >= len(p.Tree.Nodes) {
+		return nil, fmt.Errorf("ivm: node %d out of range", changed)
+	}
+	if len(p.Provenance) != len(p.Views) {
+		return nil, fmt.Errorf("ivm: plan has no provenance")
+	}
+	dirty := make([]bool, len(p.Views))
+	s := &Schedule{Changed: changed}
+	for _, v := range p.Views {
+		if p.FeedsView(v.ID, changed) {
+			dirty[v.ID] = true
+			s.DirtyViews = append(s.DirtyViews, v.ID)
+		}
+	}
+	// Plan groups are built wave by wave, so ascending group ID is a valid
+	// dependency order; restrict to groups containing dirty views.
+	for _, g := range p.Groups {
+		var dv []int
+		for _, vid := range g.Views {
+			if dirty[vid] {
+				dv = append(dv, vid)
+			}
+		}
+		if len(dv) == 0 {
+			continue
+		}
+		sort.Ints(dv)
+		st := Step{Group: g.ID, Node: g.Node, Dirty: dv, AtDelta: g.Node == changed}
+		if !st.AtDelta {
+			seen := map[int]struct{}{}
+			for _, vid := range dv {
+				for _, in := range p.Views[vid].InputViews() {
+					if dirty[in] {
+						seen[in] = struct{}{}
+					}
+				}
+			}
+			for in := range seen {
+				st.DeltaInputs = append(st.DeltaInputs, in)
+			}
+			sort.Ints(st.DeltaInputs)
+			if len(st.DeltaInputs) == 0 {
+				return nil, fmt.Errorf("ivm: dirty group %d at node %d has no dirty inputs", g.ID, g.Node)
+			}
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s, nil
+}

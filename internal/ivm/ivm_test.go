@@ -1,0 +1,160 @@
+package ivm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// chainPlan builds a plan over R0(j0,j1,v0) ⋈ R1(j1,j2,v1) ⋈ R2(j2,j3,v2)
+// with roots spread across the tree.
+func chainPlan(t *testing.T) *core.Plan {
+	t.Helper()
+	db := data.NewDatabase()
+	var js []data.AttrID
+	for _, n := range []string{"j0", "j1", "j2", "j3"} {
+		js = append(js, db.Attr(n, data.Key))
+	}
+	var vs []data.AttrID
+	for i, n := range []string{"v0", "v1", "v2"} {
+		v := db.Attr(n, data.Numeric)
+		vs = append(vs, v)
+		ints := []int64{0, 1, 2, 0, 1, 2}
+		floats := []float64{1, 2, 3, 4, 5, 6}
+		if err := db.AddRelation(data.NewRelation("R"+string(rune('0'+i)),
+			[]data.AttrID{js[i], js[i+1], v},
+			[]data.Column{data.NewIntColumn(ints), data.NewIntColumn(ints),
+				data.NewFloatColumn(floats)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := jointree.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*query.Query{
+		query.NewQuery("q0", []data.AttrID{js[0]}, query.SumAgg(vs[2])),
+		query.NewQuery("q1", []data.AttrID{js[3]}, query.SumAgg(vs[0])),
+		query.NewQuery("q2", nil, query.CountAgg()),
+	}
+	plan, err := core.BuildPlan(tree, queries, core.PlanOptions{
+		MultiRoot: true, MultiOutput: true, TrackCounts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestProvenance checks the per-view provenance invariants: output views
+// cover every node, directional views cover exactly the component behind
+// their edge, and every view's provenance contains its own node.
+func TestProvenance(t *testing.T) {
+	plan := chainPlan(t)
+	n := len(plan.Tree.Nodes)
+	for _, v := range plan.Views {
+		prov := plan.Provenance[v.ID]
+		if v.IsOutput() {
+			if len(prov) != n {
+				t.Fatalf("output view %d provenance %v, want all %d nodes", v.ID, prov, n)
+			}
+			continue
+		}
+		if !plan.FeedsView(v.ID, v.From) {
+			t.Fatalf("view %d provenance %v misses its own node %d", v.ID, prov, v.From)
+		}
+		if plan.FeedsView(v.ID, v.To) {
+			t.Fatalf("view %d provenance %v contains its target %d", v.ID, prov, v.To)
+		}
+	}
+}
+
+// TestAnalyze checks the schedule invariants for a delta at every node.
+func TestAnalyze(t *testing.T) {
+	plan := chainPlan(t)
+	for node := range plan.Tree.Nodes {
+		sched, err := Analyze(plan, node)
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+		dirty := map[int]bool{}
+		for _, vid := range sched.DirtyViews {
+			dirty[vid] = true
+			if !plan.FeedsView(vid, node) {
+				t.Fatalf("node %d: view %d scheduled dirty but not fed by the node", node, vid)
+			}
+		}
+		for _, v := range plan.Views {
+			if plan.FeedsView(v.ID, node) && !dirty[v.ID] {
+				t.Fatalf("node %d: fed view %d missing from dirty set", node, v.ID)
+			}
+		}
+		produced := map[int]bool{}
+		lastGroup := -1
+		for _, st := range sched.Steps {
+			if st.Group <= lastGroup {
+				t.Fatalf("node %d: steps out of order (%d after %d)", node, st.Group, lastGroup)
+			}
+			lastGroup = st.Group
+			if st.AtDelta != (st.Node == node) {
+				t.Fatalf("node %d: step at node %d has AtDelta=%v", node, st.Node, st.AtDelta)
+			}
+			if st.AtDelta && len(st.DeltaInputs) != 0 {
+				t.Fatalf("node %d: at-delta step has delta inputs %v", node, st.DeltaInputs)
+			}
+			for _, in := range st.DeltaInputs {
+				if !dirty[in] {
+					t.Fatalf("node %d: substituted input %d is not dirty", node, in)
+				}
+				if !produced[in] {
+					t.Fatalf("node %d: input %d consumed before its delta is produced", node, in)
+				}
+			}
+			for _, vid := range st.Dirty {
+				if !dirty[vid] {
+					t.Fatalf("node %d: step covers clean view %d", node, vid)
+				}
+				produced[vid] = true
+			}
+		}
+		for _, vid := range sched.DirtyViews {
+			if !produced[vid] {
+				t.Fatalf("node %d: dirty view %d has no producing step", node, vid)
+			}
+		}
+	}
+}
+
+// TestAnalyzeCountCols checks TrackCounts wiring: every view carries a count
+// column within range.
+func TestAnalyzeCountCols(t *testing.T) {
+	plan := chainPlan(t)
+	if plan.CountCol == nil {
+		t.Fatal("plan built with TrackCounts has no CountCol")
+	}
+	if len(plan.CountCol) != len(plan.Views) {
+		t.Fatalf("CountCol covers %d views, want %d", len(plan.CountCol), len(plan.Views))
+	}
+	for _, v := range plan.Views {
+		cc := plan.CountCol[v.ID]
+		if cc < 0 || cc >= len(v.Cols) {
+			t.Fatalf("view %d: count col %d out of range (%d cols)", v.ID, cc, len(v.Cols))
+		}
+		if v.IsOutput() && v.Cols[cc].Name != core.CountColName {
+			t.Fatalf("output view %d: count col named %q", v.ID, v.Cols[cc].Name)
+		}
+	}
+}
+
+func TestAnalyzeBadNode(t *testing.T) {
+	plan := chainPlan(t)
+	if _, err := Analyze(plan, -1); err == nil {
+		t.Fatal("Analyze(-1) succeeded")
+	}
+	if _, err := Analyze(plan, len(plan.Tree.Nodes)); err == nil {
+		t.Fatal("Analyze(out of range) succeeded")
+	}
+}

@@ -1,0 +1,447 @@
+package moo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ivm"
+)
+
+// ErrNotIncremental marks deltas the maintenance layer cannot handle
+// incrementally (e.g. relations folded into a materialized hypertree bag);
+// callers should fall back to a full recompute.
+var ErrNotIncremental = errors.New("moo: delta not incrementally maintainable")
+
+// ApplyStats reports what one incremental maintenance pass did.
+type ApplyStats struct {
+	Relation string
+	Inserted int
+	Deleted  int
+	// DirtyGroups of TotalGroups were re-evaluated (over delta tuples at
+	// the changed node, over the base relation with substituted delta
+	// inputs elsewhere); DirtyViews of TotalViews were re-merged.
+	DirtyGroups int
+	TotalGroups int
+	DirtyViews  int
+	TotalViews  int
+	Elapsed     time.Duration
+}
+
+// Apply incrementally maintains a previous batch result against a delta that
+// has ALREADY been applied to the base relation (use lmfao.Session for the
+// combined mutate-and-maintain path). It re-evaluates only the dirty subset
+// of the view DAG per internal/ivm's schedule and merges the deltas into the
+// cached views, returning a new BatchResult; prev is left untouched.
+//
+// The result must have been produced by an engine with Options.TrackCounts:
+// the hidden per-view tuple counts are what make row deletion exact.
+func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplyStats, error) {
+	start := time.Now()
+	if prev == nil || prev.Plan == nil || prev.Materialized == nil {
+		return nil, nil, fmt.Errorf("moo: Apply needs a cached BatchResult from Run")
+	}
+	plan := prev.Plan
+	if plan.CountCol == nil {
+		return nil, nil, fmt.Errorf("moo: Apply needs a plan built with TrackCounts (set Options.TrackCounts)")
+	}
+	node := e.tree.NodeByRelation(d.Relation)
+	if node == nil {
+		return nil, nil, fmt.Errorf("%w: relation %q is not a join-tree node (materialized bag member?)", ErrNotIncremental, d.Relation)
+	}
+	if err := d.Validate(node.Rel); err != nil {
+		return nil, nil, err
+	}
+	stats := &ApplyStats{
+		Relation:    d.Relation,
+		Inserted:    d.InsertRows(),
+		Deleted:     d.DeleteRows(),
+		TotalGroups: len(plan.Groups),
+		TotalViews:  len(plan.Views),
+	}
+	if d.Empty() {
+		stats.Elapsed = time.Since(start)
+		return prev, stats, nil
+	}
+	sched, err := ivm.Analyze(plan, node.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.DirtyGroups = len(sched.Steps)
+	stats.DirtyViews = len(sched.DirtyViews)
+
+	var insRel, delRel *data.Relation
+	if d.InsertRows() > 0 {
+		insRel = data.NewRelation(d.Relation, node.Rel.Attrs, d.Inserts)
+	}
+	if d.DeleteRows() > 0 {
+		delRel = data.NewRelation(d.Relation, node.Rel.Attrs, d.Deletes)
+	}
+
+	// work starts as the cached state; as steps complete, dirty views are
+	// replaced by their deltas so later steps bind the delta views. Clean
+	// inputs keep reading the cache (they are never dirty).
+	work := append([]*ViewData(nil), prev.Materialized...)
+	deltas := make([]*ViewData, len(plan.Views))
+	for _, st := range sched.Steps {
+		sub := &core.Group{ID: st.Group, Node: st.Node, Views: st.Dirty}
+		if st.AtDelta {
+			ins, del, err := e.runDeltaScans(plan, sub, work, insRel, delRel)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, vid := range st.Dirty {
+				v := plan.Views[vid]
+				deltas[vid] = diffViews(v, pickView(ins, vid), pickView(del, vid), viewTarget(plan, v))
+			}
+		} else {
+			empty := true
+			for _, in := range st.DeltaInputs {
+				if deltas[in].NumRows() > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				// Nothing flows in; the step's deltas are empty views.
+				for _, vid := range st.Dirty {
+					v := plan.Views[vid]
+					deltas[vid] = newViewBuilder(v.GroupBy, len(v.Cols), false).finalize(viewTarget(plan, v))
+				}
+			} else {
+				scratch := append([]*ViewData(nil), work...)
+				gp, err := e.compileGroupCached(plan, sub)
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := e.execGroup(gp, scratch, nil, false); err != nil {
+					return nil, nil, err
+				}
+				for _, vid := range st.Dirty {
+					deltas[vid] = scratch[vid]
+				}
+			}
+		}
+		for _, vid := range st.Dirty {
+			work[vid] = deltas[vid]
+		}
+	}
+
+	// Merge the deltas into a fresh materialized state.
+	mat := append([]*ViewData(nil), prev.Materialized...)
+	for _, vid := range sched.DirtyViews {
+		v := plan.Views[vid]
+		keepScalar := v.IsOutput() && len(v.GroupBy) == 0
+		mat[vid] = mergeDelta(prev.Materialized[vid], deltas[vid], plan.CountCol[vid], viewTarget(plan, v), keepScalar)
+	}
+	res := &BatchResult{
+		Plan:         plan,
+		Results:      make([]*ViewData, len(plan.Queries)),
+		Materialized: mat,
+	}
+	for qi, vid := range plan.OutputView {
+		res.Results[qi] = mat[vid]
+		res.OutputBytes += mat[vid].SizeBytes()
+	}
+	for _, v := range plan.Views {
+		if !v.IsOutput() && mat[v.ID] != nil {
+			res.ViewBytes += mat[v.ID].SizeBytes()
+		}
+	}
+	res.Elapsed = time.Since(start)
+	stats.Elapsed = res.Elapsed
+	return res, stats, nil
+}
+
+// compileGroupCached memoizes compiled group plans per (plan, view subset)
+// for the Apply path. The cached plan's statistics-driven attribute order
+// freezes at first compile; later deltas shift statistics but never
+// correctness (the order is a performance heuristic).
+func (e *Engine) compileGroupCached(plan *core.Plan, g *core.Group) (*groupPlan, error) {
+	key := fmt.Sprintf("%p|%d|%v", plan, g.ID, g.Views)
+	e.mu.Lock()
+	gp, ok := e.gpCache[key]
+	e.mu.Unlock()
+	if ok {
+		return gp, nil
+	}
+	gp, err := compileGroup(plan, g, e.opts.Compiled)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.gpCache[key] = gp
+	e.mu.Unlock()
+	return gp, nil
+}
+
+// runDeltaScans evaluates the group once over the inserted tuples and once
+// over the deleted tuples (either may be nil), against cached input views.
+// The group compiles once and scans both blocks.
+func (e *Engine) runDeltaScans(plan *core.Plan, g *core.Group, work []*ViewData, insRel, delRel *data.Relation) (ins, del []*ViewData, err error) {
+	gp, err := e.compileGroupCached(plan, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if insRel != nil {
+		ins = append([]*ViewData(nil), work...)
+		if err := e.execGroup(gp, ins, insRel, false); err != nil {
+			return nil, nil, err
+		}
+	}
+	if delRel != nil {
+		del = append([]*ViewData(nil), work...)
+		if err := e.execGroup(gp, del, delRel, false); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ins, del, nil
+}
+
+func pickView(vs []*ViewData, vid int) *ViewData {
+	if vs == nil {
+		return nil
+	}
+	return vs[vid]
+}
+
+// viewTarget returns the consumer node schema finalize needs (nil for
+// application outputs).
+func viewTarget(plan *core.Plan, v *core.View) []data.AttrID {
+	if v.IsOutput() {
+		return nil
+	}
+	return plan.Tree.Nodes[v.To].Attrs
+}
+
+// addViewInto folds src's rows into b, scaling every aggregate by sign.
+func addViewInto(b *viewBuilder, src *ViewData, sign float64) {
+	if src == nil {
+		return
+	}
+	key := make([]int64, len(src.GroupBy))
+	for i := 0; i < src.rows; i++ {
+		for c := range key {
+			key[c] = src.Keys[c][i]
+		}
+		r := b.row(key)
+		for col := 0; col < src.Stride; col++ {
+			b.add(r, col, sign*src.Val(i, col))
+		}
+	}
+}
+
+// diffViews combines the insert-scan and delete-scan results of one view
+// into its delta: deletes are negative-weight inserts in the sum-product
+// semiring.
+func diffViews(v *core.View, ins, del *ViewData, target []data.AttrID) *ViewData {
+	b := newViewBuilder(v.GroupBy, len(v.Cols), false)
+	addViewInto(b, ins, 1)
+	addViewInto(b, del, -1)
+	return b.finalize(target)
+}
+
+// mergeDelta folds a view's delta into its cached data and re-finalizes.
+// Rows whose tuple count reaches zero are dropped: every join tuple behind
+// the key was deleted, so a full recompute would not emit it. Counts are
+// integer-valued, so the float64 zero test is exact. Scalar application
+// outputs always keep their single row (SQL semantics).
+func mergeDelta(old, delta *ViewData, countCol int, target []data.AttrID, keepScalar bool) *ViewData {
+	if delta == nil || delta.NumRows() == 0 {
+		return old
+	}
+	// Finalized internal views merge by a sorted two-pointer walk (no
+	// hashing); application outputs (unsorted) patch values in place via a
+	// hash index when the row set is unchanged, else rebuild.
+	if merged := mergeSorted(old, delta, countCol); merged != nil {
+		return merged
+	}
+	if fast := mergeFast(old, delta, countCol); fast != nil {
+		return fast
+	}
+	b := newViewBuilder(old.GroupBy, old.Stride, false)
+	addViewInto(b, old, 1)
+	addViewInto(b, delta, 1)
+	merged := b.vd
+	if !keepScalar {
+		merged = dropZeroCountRows(merged, countCol)
+	}
+	return (&viewBuilder{vd: merged}).finalize(target)
+}
+
+// mergeSorted merges a finalized internal view with its (identically
+// finalized, hence identically sorted) delta by a two-pointer walk: no
+// hashing, no re-sort. Rows whose merged tuple count is zero are dropped;
+// the consumer range index is rebuilt in the same pass. Returns nil for
+// application outputs (not sorted; the builder path handles them).
+func mergeSorted(old, delta *ViewData, countCol int) *ViewData {
+	if old.index == nil || delta.index == nil {
+		return nil
+	}
+	cmpPos := append(append([]int(nil), old.skeyPos...), old.extraPos...)
+	cmp := func(i, j int) int { // old row i vs delta row j
+		for _, c := range cmpPos {
+			a, b := old.Keys[c][i], delta.Keys[c][j]
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	out := &ViewData{
+		GroupBy:  old.GroupBy,
+		Keys:     make([][]int64, len(old.GroupBy)),
+		Vals:     make([]float64, 0, len(old.Vals)+len(delta.Vals)),
+		Stride:   old.Stride,
+		skeyPos:  old.skeyPos,
+		extraPos: old.extraPos,
+	}
+	for c := range out.Keys {
+		out.Keys[c] = make([]int64, 0, old.rows+delta.rows)
+	}
+	appendRow := func(src *ViewData, i int, add *ViewData, j int) {
+		for c := range out.Keys {
+			out.Keys[c] = append(out.Keys[c], src.Keys[c][i])
+		}
+		base := len(out.Vals)
+		out.Vals = append(out.Vals, src.Vals[i*src.Stride:(i+1)*src.Stride]...)
+		if add != nil {
+			dst := out.Vals[base:]
+			src2 := add.Vals[j*add.Stride : (j+1)*add.Stride]
+			for c := range dst {
+				dst[c] += src2[c]
+			}
+		}
+		out.rows++
+	}
+	i, j := 0, 0
+	for i < old.rows || j < delta.rows {
+		switch {
+		case j == delta.rows:
+			appendRow(old, i, nil, 0)
+			i++
+		case i == old.rows:
+			if delta.Val(j, countCol) != 0 {
+				appendRow(delta, j, nil, 0)
+			}
+			j++
+		default:
+			switch cmp(i, j) {
+			case -1:
+				appendRow(old, i, nil, 0)
+				i++
+			case 1:
+				if delta.Val(j, countCol) != 0 {
+					appendRow(delta, j, nil, 0)
+				}
+				j++
+			default:
+				if old.Val(i, countCol)+delta.Val(j, countCol) != 0 {
+					appendRow(old, i, delta, j)
+				}
+				i++
+				j++
+			}
+		}
+	}
+	// Rebuild the consumer-key range index over the (still sorted) rows.
+	out.index = make(map[string][2]int32, out.rows)
+	buf := make([]byte, 0, 8*len(out.skeyPos))
+	start := 0
+	for i := 1; i <= out.rows; i++ {
+		if i < out.rows && sameSKey(out, i-1, i) {
+			continue
+		}
+		buf = buf[:0]
+		for _, c := range out.skeyPos {
+			buf = data.AppendKey(buf, out.Keys[c][start])
+		}
+		out.index[string(buf)] = [2]int32{int32(start), int32(i)}
+		start = i
+	}
+	return out
+}
+
+// mergeFast is the common-case merge: every delta key already exists in the
+// cached view and no tuple count reaches zero, so the row set is unchanged.
+// The result shares the cached view's key columns, range index and full-key
+// index; only the aggregate values are copied and patched — skipping the
+// re-hash, re-sort and re-index of the general path. Returns nil when the
+// preconditions fail.
+func mergeFast(old, delta *ViewData, countCol int) *ViewData {
+	if old.rows == 0 || delta.rows > old.rows {
+		return nil
+	}
+	idx := old.fullKeyIndex()
+	rows := make([]int32, delta.rows)
+	buf := make([]byte, 0, 8*len(delta.GroupBy))
+	for i := 0; i < delta.rows; i++ {
+		buf = buf[:0]
+		for c := range delta.GroupBy {
+			buf = data.AppendKey(buf, delta.Keys[c][i])
+		}
+		r, ok := idx[string(buf)]
+		if !ok {
+			return nil // new group-by key: general path inserts it
+		}
+		if old.Val(int(r), countCol)+delta.Val(i, countCol) == 0 {
+			return nil // key vanishes: general path drops it
+		}
+		rows[i] = r
+	}
+	out := &ViewData{
+		GroupBy:  old.GroupBy,
+		Keys:     old.Keys,
+		Vals:     append([]float64(nil), old.Vals...),
+		Stride:   old.Stride,
+		rows:     old.rows,
+		skeyPos:  old.skeyPos,
+		extraPos: old.extraPos,
+		index:    old.index,
+		fullIdx:  idx,
+	}
+	for i, r := range rows {
+		dst := out.Vals[int(r)*out.Stride : (int(r)+1)*out.Stride]
+		src := delta.Vals[i*delta.Stride : (i+1)*delta.Stride]
+		for c := range dst {
+			dst[c] += src[c]
+		}
+	}
+	return out
+}
+
+// dropZeroCountRows filters rows whose tuple count is exactly zero.
+func dropZeroCountRows(v *ViewData, countCol int) *ViewData {
+	keep := make([]int, 0, v.rows)
+	for i := 0; i < v.rows; i++ {
+		if v.Val(i, countCol) != 0 {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == v.rows {
+		return v
+	}
+	out := &ViewData{
+		GroupBy: v.GroupBy,
+		Keys:    make([][]int64, len(v.GroupBy)),
+		Vals:    make([]float64, 0, len(keep)*v.Stride),
+		Stride:  v.Stride,
+		rows:    len(keep),
+	}
+	for c := range out.Keys {
+		col := make([]int64, len(keep))
+		for j, i := range keep {
+			col[j] = v.Keys[c][i]
+		}
+		out.Keys[c] = col
+	}
+	for _, i := range keep {
+		out.Vals = append(out.Vals, v.Vals[i*v.Stride:(i+1)*v.Stride]...)
+	}
+	return out
+}

@@ -33,6 +33,10 @@ type Options struct {
 	// DomainParallelRows is the minimum relation size for splitting one
 	// group scan across threads.
 	DomainParallelRows int
+	// TrackCounts adds a hidden tuple-count aggregate to every view so the
+	// result can be incrementally maintained via Apply (see internal/ivm).
+	// Output views gain a trailing core.CountColName column.
+	TrackCounts bool
 }
 
 // DefaultOptions enables all optimizations with the paper's four threads
@@ -65,7 +69,20 @@ type Engine struct {
 	opts Options
 
 	mu        sync.Mutex
-	sortCache map[string]*data.Relation
+	sortCache map[string]sortEntry
+	// gpCache caches compiled group plans for the maintenance path, which
+	// recompiles the same (sub)groups on every Apply. Run's own scans stay
+	// uncached: a compiled plan carries per-execution state (the bound scan
+	// relation), so sharing is only safe on the single-threaded Apply path.
+	gpCache map[string]*groupPlan
+}
+
+// sortEntry is a cached sorted copy of a base relation; version pins the
+// relation content it was built from, so in-place base mutations (deltas)
+// invalidate it.
+type sortEntry struct {
+	version int64
+	rel     *data.Relation
 }
 
 // NewEngine builds the join tree for db (decomposing cyclic schemas) and
@@ -87,7 +104,8 @@ func NewEngineWithTree(db *data.Database, tree *jointree.Tree, opts Options) *En
 	if opts.DomainParallelRows <= 0 {
 		opts.DomainParallelRows = 65536
 	}
-	return &Engine{db: db, tree: tree, opts: opts, sortCache: map[string]*data.Relation{}}
+	return &Engine{db: db, tree: tree, opts: opts,
+		sortCache: map[string]sortEntry{}, gpCache: map[string]*groupPlan{}}
 }
 
 // DB returns the engine's database.
@@ -110,6 +128,9 @@ type BatchResult struct {
 	// ViewBytes is the total size of all intermediate directional views.
 	ViewBytes int64
 	Elapsed   time.Duration
+	// Materialized holds every materialized view (internal and output)
+	// indexed by view ID — the cached state Apply maintains incrementally.
+	Materialized []*ViewData
 }
 
 // Run plans and executes a batch of aggregate queries.
@@ -118,18 +139,34 @@ func (e *Engine) Run(queries []*query.Query) (*BatchResult, error) {
 	plan, err := core.BuildPlan(e.tree, queries, core.PlanOptions{
 		MultiRoot:   e.opts.MultiRoot,
 		MultiOutput: e.opts.MultiOutput,
+		TrackCounts: e.opts.TrackCounts,
 	})
 	if err != nil {
 		return nil, err
 	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunPlan executes an existing logical plan from scratch over the current
+// base data. Plans stay valid across base-relation deltas (only statistics
+// drift), so this recomputes exactly the view DAG a maintained session
+// serves — the comparison target for incremental maintenance.
+func (e *Engine) RunPlan(plan *core.Plan) (*BatchResult, error) {
+	start := time.Now()
 	produced, err := e.execute(plan)
 	if err != nil {
 		return nil, err
 	}
 	res := &BatchResult{
-		Plan:    plan,
-		Results: make([]*ViewData, len(queries)),
-		Elapsed: time.Since(start),
+		Plan:         plan,
+		Results:      make([]*ViewData, len(plan.Queries)),
+		Elapsed:      time.Since(start),
+		Materialized: produced,
 	}
 	for qi, vid := range plan.OutputView {
 		res.Results[qi] = produced[vid]
@@ -167,10 +204,15 @@ func (e *Engine) execute(plan *core.Plan) ([]*ViewData, error) {
 		}
 	}
 	ready := make(chan int, n)
+	scheduled := 0
 	for g := 0; g < n; g++ {
 		if indeg[g] == 0 {
 			ready <- g
+			scheduled++
 		}
+	}
+	if scheduled == 0 {
+		return nil, fmt.Errorf("moo: no runnable groups among %d (cyclic dependency graph)", n)
 	}
 	var (
 		mu        sync.Mutex
@@ -194,15 +236,24 @@ func (e *Engine) execute(plan *core.Plan) ([]*ViewData, error) {
 					firstErr = err
 				}
 				doneCount++
-				if err == nil {
+				// Enqueue dependents only while the channel is open: another
+				// worker's error may have closed it while this group was
+				// still running, and a send would panic.
+				if err == nil && !closed {
 					for _, d := range dependents[g] {
 						indeg[d]--
 						if indeg[d] == 0 {
 							ready <- d
+							scheduled++
 						}
 					}
 				}
-				if (doneCount == n || firstErr != nil) && !closed {
+				// Close when finished or wedged: an error skips the failed
+				// group's dependents, and a malformed dependency graph can
+				// strand groups — in both cases every scheduled group being
+				// done means no further progress is possible, and leaving
+				// the channel open would park the workers forever.
+				if (doneCount == n || doneCount == scheduled || firstErr != nil) && !closed {
 					closed = true
 					close(ready)
 				}
@@ -223,11 +274,31 @@ func (e *Engine) execute(plan *core.Plan) ([]*ViewData, error) {
 // runGroup compiles and executes one view group, finalizing its outputs into
 // produced.
 func (e *Engine) runGroup(plan *core.Plan, g *core.Group, produced []*ViewData) error {
+	return e.runGroupOn(plan, g, produced, nil, true)
+}
+
+// runGroupOn is runGroup with two knobs for delta evaluation (Apply): scan an
+// override relation (a delta block) instead of the group node's base
+// relation, and suppress the forced scalar output row (a delta must stay
+// empty when nothing was emitted).
+func (e *Engine) runGroupOn(plan *core.Plan, g *core.Group, produced []*ViewData, relOverride *data.Relation, scalarInit bool) error {
 	gp, err := compileGroup(plan, g, e.opts.Compiled)
 	if err != nil {
 		return err
 	}
-	gp.rel, err = e.sortedRel(gp.node.Rel, gp.order)
+	return e.execGroup(gp, produced, relOverride, scalarInit)
+}
+
+// execGroup binds the (possibly overridden) scan relation to a compiled
+// group plan and runs it; gp is reusable across calls with different
+// relations.
+func (e *Engine) execGroup(gp *groupPlan, produced []*ViewData, relOverride *data.Relation, scalarInit bool) error {
+	var err error
+	if relOverride != nil {
+		gp.rel, err = relOverride.SortedCopy(gp.order)
+	} else {
+		gp.rel, err = e.sortedRel(gp.node.Rel, gp.order)
+	}
 	if err != nil {
 		return err
 	}
@@ -236,12 +307,12 @@ func (e *Engine) runGroup(plan *core.Plan, g *core.Group, produced []*ViewData) 
 	n := gp.rel.Len()
 	var builders []*viewBuilder
 	if e.opts.Threads > 1 && gp.L > 0 && n >= e.opts.DomainParallelRows {
-		builders, err = e.runDomainParallel(gp, produced, n)
+		builders, err = e.runDomainParallel(gp, produced, n, scalarInit)
 		if err != nil {
 			return err
 		}
 	} else {
-		ctx, err := newExecCtx(gp, produced, true)
+		ctx, err := newExecCtx(gp, produced, scalarInit)
 		if err != nil {
 			return err
 		}
@@ -258,7 +329,7 @@ func (e *Engine) runGroup(plan *core.Plan, g *core.Group, produced []*ViewData) 
 // threads and merges the per-thread partial outputs (paper: "LMFAO
 // partitions the largest input relations and allocates a thread per
 // partition").
-func (e *Engine) runDomainParallel(gp *groupPlan, produced []*ViewData, n int) ([]*viewBuilder, error) {
+func (e *Engine) runDomainParallel(gp *groupPlan, produced []*ViewData, n int, scalarInit bool) ([]*viewBuilder, error) {
 	col := gp.rel.MustCol(gp.order[0]).Ints
 	var bounds []int
 	data.ForEachRange(col, 0, n, func(_ int64, l, _ int) {
@@ -289,7 +360,7 @@ func (e *Engine) runDomainParallel(gp *groupPlan, produced []*ViewData, n int) (
 		if lo >= hi {
 			continue
 		}
-		ctx, err := newExecCtx(gp, produced, true)
+		ctx, err := newExecCtx(gp, produced, scalarInit && t == 0)
 		if err != nil {
 			return nil, err
 		}
@@ -321,11 +392,12 @@ func (e *Engine) sortedRel(rel *data.Relation, order []data.AttrID) (*data.Relat
 		parts[i] = fmt.Sprint(a)
 	}
 	key := rel.Name + "|" + strings.Join(parts, ",")
+	version := rel.Version()
 	e.mu.Lock()
-	cached := e.sortCache[key]
+	cached, ok := e.sortCache[key]
 	e.mu.Unlock()
-	if cached != nil {
-		return cached, nil
+	if ok && cached.version == version {
+		return cached.rel, nil
 	}
 	cp, err := rel.SortedCopy(order)
 	if err != nil {
@@ -336,7 +408,7 @@ func (e *Engine) sortedRel(rel *data.Relation, order []data.AttrID) (*data.Relat
 		cp.DistinctCount(a)
 	}
 	e.mu.Lock()
-	e.sortCache[key] = cp
+	e.sortCache[key] = sortEntry{version: version, rel: cp}
 	e.mu.Unlock()
 	return cp, nil
 }

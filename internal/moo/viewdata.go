@@ -30,6 +30,28 @@ type ViewData struct {
 	skeyPos  []int // positions in GroupBy of the consumer-key attributes
 	extraPos []int // positions in GroupBy of the carried attributes
 	index    map[string][2]int32
+
+	// fullIdx lazily maps packed full group-by keys to row indices; built by
+	// the maintenance fast path and shared across merges while the key
+	// columns are shared. Not goroutine-safe; Apply is single-threaded.
+	fullIdx map[string]int32
+}
+
+// fullKeyIndex returns (building on first use) the packed-full-key → row map.
+func (v *ViewData) fullKeyIndex() map[string]int32 {
+	if v.fullIdx == nil {
+		idx := make(map[string]int32, v.rows)
+		buf := make([]byte, 0, 8*len(v.GroupBy))
+		for i := 0; i < v.rows; i++ {
+			buf = buf[:0]
+			for c := range v.GroupBy {
+				buf = data.AppendKey(buf, v.Keys[c][i])
+			}
+			idx[string(buf)] = int32(i)
+		}
+		v.fullIdx = idx
+	}
+	return v.fullIdx
 }
 
 // NumRows returns the number of result tuples.

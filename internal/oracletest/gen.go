@@ -1,0 +1,273 @@
+// Package oracletest is a differential test harness: it generates small
+// randomized databases, query batches and update streams, and asserts that
+// every engine configuration (single- and multi-threaded, compiled and
+// interpreted) agrees with the brute-force baseline, and that incremental
+// maintenance (lmfao.Session.Apply) agrees with full recomputation.
+//
+// Generated numeric values are small dyadic rationals (k/4) and coefficients
+// are small integers, so every aggregate — a sum of products of such values —
+// is exactly representable in float64 regardless of summation order. The
+// harness can therefore demand bit-exact agreement across engines whose
+// floating-point evaluation orders differ.
+package oracletest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// Schema carries the generated database plus the attribute pools queries
+// draw from.
+type Schema struct {
+	DB       *data.Database
+	Discrete []data.AttrID // group-by / indicator candidates
+	Numeric  []data.AttrID // sum / product candidates
+}
+
+// dyadic returns n random values of the form k/4 with k in [0, 4*span).
+func dyadic(rng *rand.Rand, n, span int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(4*span)) / 4
+	}
+	return out
+}
+
+func uniformInts(rng *rand.Rand, n, dom int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(dom))
+	}
+	return out
+}
+
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// GenSchema builds one of three randomized shapes: a star (fact plus
+// dimension tables), a chain (path join), or a snowflake (star with a
+// second-level dimension). Every attribute pool stays small so randomized
+// deltas collide with existing keys often.
+func GenSchema(rng *rand.Rand) (*Schema, error) {
+	switch rng.Intn(3) {
+	case 0:
+		return genStar(rng, false)
+	case 1:
+		return genChain(rng)
+	default:
+		return genStar(rng, true)
+	}
+}
+
+func genStar(rng *rand.Rand, snowflake bool) (*Schema, error) {
+	db := data.NewDatabase()
+	s := &Schema{DB: db}
+	dims := 2 + rng.Intn(2)
+	dom := 3 + rng.Intn(4)
+	factRows := 20 + rng.Intn(60)
+
+	var keys []data.AttrID
+	factAttrs := []data.AttrID{}
+	factCols := []data.Column{}
+	for d := 0; d < dims; d++ {
+		k := db.Attr(fmt.Sprintf("k%d", d), data.Key)
+		keys = append(keys, k)
+		s.Discrete = append(s.Discrete, k)
+		factAttrs = append(factAttrs, k)
+		factCols = append(factCols, data.NewIntColumn(uniformInts(rng, factRows, dom)))
+	}
+	m := db.Attr("m", data.Numeric)
+	s.Numeric = append(s.Numeric, m)
+	factAttrs = append(factAttrs, m)
+	factCols = append(factCols, data.NewFloatColumn(dyadic(rng, factRows, 8)))
+	if err := db.AddRelation(data.NewRelation("F", factAttrs, factCols)); err != nil {
+		return nil, err
+	}
+	for d := 0; d < dims; d++ {
+		c := db.Attr(fmt.Sprintf("c%d", d), data.Categorical)
+		p := db.Attr(fmt.Sprintf("p%d", d), data.Numeric)
+		s.Discrete = append(s.Discrete, c)
+		s.Numeric = append(s.Numeric, p)
+		if err := db.AddRelation(data.NewRelation(fmt.Sprintf("D%d", d),
+			[]data.AttrID{keys[d], c, p},
+			[]data.Column{
+				data.NewIntColumn(seq(dom)),
+				data.NewIntColumn(uniformInts(rng, dom, 3)),
+				data.NewFloatColumn(dyadic(rng, dom, 8)),
+			})); err != nil {
+			return nil, err
+		}
+	}
+	if snowflake {
+		// Second-level dimension hanging off D0's category attribute.
+		deep := db.Attr("deep", data.Key)
+		dp := db.Attr("deep_p", data.Numeric)
+		s.Discrete = append(s.Discrete, deep)
+		s.Numeric = append(s.Numeric, dp)
+		if err := db.AddRelation(data.NewRelation("Deep",
+			[]data.AttrID{s.Discrete[dims], deep, dp}, // c0
+			[]data.Column{
+				data.NewIntColumn(seq(3)),
+				data.NewIntColumn(uniformInts(rng, 3, 4)),
+				data.NewFloatColumn(dyadic(rng, 3, 8)),
+			})); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func genChain(rng *rand.Rand) (*Schema, error) {
+	db := data.NewDatabase()
+	s := &Schema{DB: db}
+	links := 3 + rng.Intn(2)
+	dom := 3 + rng.Intn(3)
+	var joins []data.AttrID
+	for i := 0; i <= links; i++ {
+		joins = append(joins, db.Attr(fmt.Sprintf("j%d", i), data.Key))
+		s.Discrete = append(s.Discrete, joins[i])
+	}
+	for i := 0; i < links; i++ {
+		rows := 8 + rng.Intn(25)
+		v := db.Attr(fmt.Sprintf("v%d", i), data.Numeric)
+		s.Numeric = append(s.Numeric, v)
+		if err := db.AddRelation(data.NewRelation(fmt.Sprintf("R%d", i),
+			[]data.AttrID{joins[i], joins[i+1], v},
+			[]data.Column{
+				data.NewIntColumn(uniformInts(rng, rows, dom)),
+				data.NewIntColumn(uniformInts(rng, rows, dom)),
+				data.NewFloatColumn(dyadic(rng, rows, 8)),
+			})); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// GenQueries builds a random batch of 2–5 queries over the schema: scalar
+// and grouped, counts, sums, sums of products, powers, indicator and
+// set-membership factors — all with exactly representable arithmetic.
+func GenQueries(rng *rand.Rand, s *Schema) []*query.Query {
+	n := 2 + rng.Intn(4)
+	out := make([]*query.Query, n)
+	for qi := range out {
+		var groupBy []data.AttrID
+		for _, a := range s.Discrete {
+			if rng.Intn(4) == 0 && len(groupBy) < 2 {
+				groupBy = append(groupBy, a)
+			}
+		}
+		na := 1 + rng.Intn(3)
+		aggs := make([]query.Aggregate, na)
+		for ai := range aggs {
+			aggs[ai] = genAggregate(rng, s, fmt.Sprintf("a%d", ai))
+		}
+		out[qi] = query.NewQuery(fmt.Sprintf("q%d", qi), groupBy, aggs...)
+	}
+	return out
+}
+
+func genAggregate(rng *rand.Rand, s *Schema, name string) query.Aggregate {
+	nt := 1 + rng.Intn(2)
+	terms := make([]query.Term, nt)
+	for ti := range terms {
+		nf := rng.Intn(3)
+		var fs []query.Factor
+		for fi := 0; fi < nf; fi++ {
+			fs = append(fs, genFactor(rng, s))
+		}
+		t := query.NewTerm(fs...)
+		t.Coef = float64(1 + rng.Intn(3))
+		if rng.Intn(4) == 0 {
+			t.Coef = -t.Coef
+		}
+		terms[ti] = t
+	}
+	return query.NewAggregate(name, terms...)
+}
+
+func genFactor(rng *rand.Rand, s *Schema) query.Factor {
+	switch rng.Intn(5) {
+	case 0:
+		return query.IdentF(s.Numeric[rng.Intn(len(s.Numeric))])
+	case 1:
+		return query.PowF(s.Numeric[rng.Intn(len(s.Numeric))], 2+rng.Intn(2))
+	case 2:
+		ops := []query.CmpOp{query.LE, query.LT, query.GE, query.GT, query.EQ, query.NE}
+		return query.IndicatorF(s.Numeric[rng.Intn(len(s.Numeric))],
+			ops[rng.Intn(len(ops))], float64(rng.Intn(16))/4)
+	case 3:
+		set := make([]int64, 1+rng.Intn(3))
+		for i := range set {
+			set[i] = int64(rng.Intn(6))
+		}
+		return query.InSetF(s.Discrete[rng.Intn(len(s.Discrete))], set)
+	default:
+		return query.IdentF(s.Numeric[rng.Intn(len(s.Numeric))])
+	}
+}
+
+// GenDelta builds a randomized update against one relation of db: up to
+// maxRows inserted tuples (keys drawn from small domains so they hit
+// existing join partners) and up to maxRows deletions of existing tuples.
+func GenDelta(rng *rand.Rand, db *data.Database, maxRows int) data.Delta {
+	rels := db.Relations()
+	rel := rels[rng.Intn(len(rels))]
+	d := data.Delta{Relation: rel.Name}
+
+	nIns := rng.Intn(maxRows + 1)
+	if nIns > 0 {
+		cols := make([]data.Column, len(rel.Cols))
+		for ci, c := range rel.Cols {
+			if c.IsInt() {
+				// Mix of existing values and fresh small keys.
+				vals := make([]int64, nIns)
+				for i := range vals {
+					if len(c.Ints) > 0 && rng.Intn(2) == 0 {
+						vals[i] = c.Ints[rng.Intn(len(c.Ints))]
+					} else {
+						vals[i] = int64(rng.Intn(8))
+					}
+				}
+				cols[ci] = data.NewIntColumn(vals)
+			} else {
+				cols[ci] = data.NewFloatColumn(dyadic(rng, nIns, 8))
+			}
+		}
+		d.Inserts = cols
+	}
+
+	nDel := rng.Intn(maxRows + 1)
+	if nDel > rel.Len() {
+		nDel = rel.Len()
+	}
+	if nDel > 0 {
+		idx := rng.Perm(rel.Len())[:nDel]
+		cols := make([]data.Column, len(rel.Cols))
+		for ci, c := range rel.Cols {
+			if c.IsInt() {
+				vals := make([]int64, nDel)
+				for i, r := range idx {
+					vals[i] = c.Ints[r]
+				}
+				cols[ci] = data.NewIntColumn(vals)
+			} else {
+				vals := make([]float64, nDel)
+				for i, r := range idx {
+					vals[i] = c.Floats[r]
+				}
+				cols[ci] = data.NewFloatColumn(vals)
+			}
+		}
+		d.Deletes = cols
+	}
+	return d
+}

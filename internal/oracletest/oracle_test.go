@@ -1,0 +1,116 @@
+package oracletest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	lmfao "repro"
+	"repro/internal/datagen"
+	"repro/internal/moo"
+	"repro/internal/query"
+)
+
+// TestBatchOracle cross-checks every engine variant against the baseline on
+// randomized schemas and query batches, demanding bit-exact agreement.
+func TestBatchOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s, err := GenSchema(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := GenQueries(rng, s)
+			if err := CheckBatch(s.DB, queries, Exact); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// sessionSteps runs a maintenance session over the database: after each
+// randomized update batch it checks the maintained result against the
+// baseline and against a from-scratch recompute of the full view DAG.
+func sessionSteps(t *testing.T, rng *rand.Rand, db *lmfao.Database, queries []*query.Query, opts moo.Options, steps, maxRows int, tol Tolerance) {
+	t.Helper()
+	sess, err := lmfao.NewSession(db, queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < steps; step++ {
+		d := GenDelta(rng, db, maxRows)
+		stats, err := sess.Apply(d)
+		if err != nil {
+			t.Fatalf("step %d (%s +%d -%d): %v", step, d.Relation, d.InsertRows(), d.DeleteRows(), err)
+		}
+		for _, st := range stats {
+			if !st.Incremental {
+				t.Logf("step %d: fell back to full recompute for %s", step, st.Relation)
+			}
+		}
+		if err := CheckMaintained(sess.Engine(), sess.Result(), queries, tol); err != nil {
+			t.Fatalf("step %d (%s +%d -%d): %v", step, d.Relation, d.InsertRows(), d.DeleteRows(), err)
+		}
+	}
+}
+
+// TestIVMSynthetic exercises incremental maintenance on randomized synthetic
+// schemas with bit-exact comparison.
+func TestIVMSynthetic(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(100 + seed))
+			s, err := GenSchema(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := GenQueries(rng, s)
+			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1}
+			if seed%2 == 1 {
+				opts.Threads = 3
+				opts.DomainParallelRows = 4
+			}
+			sessionSteps(t, rng, s.DB, queries, opts, 5, 12, Exact)
+		})
+	}
+}
+
+// datasetQueries builds a modest mixed batch (scalar count, grouped sums)
+// over a generated paper dataset.
+func datasetQueries(ds *datagen.Dataset) []*query.Query {
+	qs := []*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("sum", nil, query.SumAgg(ds.CubeMeasures[0])),
+	}
+	qs = append(qs, query.NewQuery("cube1", ds.CubeDims[:1],
+		query.CountAgg(), query.SumAgg(ds.CubeMeasures[0])))
+	qs = append(qs, query.NewQuery("cube2", ds.CubeDims[:2],
+		query.SumAgg(ds.CubeMeasures[1])))
+	return qs
+}
+
+// testIVMDataset runs the maintenance oracle over a generated paper dataset.
+// Real-valued data means reordered float sums drift, so comparison is
+// tolerance-based.
+func testIVMDataset(t *testing.T, name string) {
+	build, err := datagen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := build(datagen.Config{Scale: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	opts := moo.DefaultOptions()
+	opts.Threads = 2
+	sessionSteps(t, rng, ds.DB, datasetQueries(ds), opts, 4, 20, Approx)
+}
+
+func TestIVMRetailer(t *testing.T) { testIVMDataset(t, "retailer") }
+
+func TestIVMFavorita(t *testing.T) { testIVMDataset(t, "favorita") }

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+// FuzzParse feeds arbitrary strings to the parser: it must never panic, and
+// whatever it accepts must reach a print/parse fixpoint (Format after one
+// parse is stable under further parse/Format round trips).
+func FuzzParse(f *testing.F) {
+	db := parseDB()
+	seeds := []string{
+		"count(SUM 1)",
+		"q1(store; SUM sales)",
+		"q2(store, item; SUM sales·price, SUM sales^3)",
+		"q3(color; SUM 2·1[sales <= 2.5]·price + -1·1[color in {1,2}], SUM log(price))",
+		"q(SUM 1[sales <> -0.5])",
+		"q(SUM -3)",
+		"q(; SUM 1)",
+		"x(SUM 1[color in {}])",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(db, s)
+		if err != nil {
+			return
+		}
+		s1 := q.Format(db)
+		q2, err := Parse(db, s1)
+		if err != nil {
+			t.Fatalf("reparse of formatted %q (from %q): %v", s1, s, err)
+		}
+		if s2 := q2.Format(db); s1 != s2 {
+			t.Fatalf("no fixpoint: %q -> %q -> %q", s, s1, s2)
+		}
+	})
+}
+
+// FuzzPrintParse drives the generator direction: a query assembled from the
+// fuzzed byte tape must print, parse back, and re-print stably. The first
+// print need not be canonical (a unit coefficient before a constant factor
+// prints like a coefficient), so stability is asserted from the second
+// print onward.
+func FuzzPrintParse(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 128, 7, 9, 200, 13, 1, 1, 1})
+	f.Add([]byte("\x80AA\x02"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		db := parseDB()
+		q := queryFromTape(db, tape)
+		s1 := q.Format(db)
+		p, err := Parse(db, s1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s1, err)
+		}
+		s2 := p.Format(db)
+		p2, err := Parse(db, s2)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s2, err)
+		}
+		if s3 := p2.Format(db); s2 != s3 {
+			t.Fatalf("no fixpoint: %q -> %q -> %q", s1, s2, s3)
+		}
+	})
+}
+
+// queryFromTape deterministically assembles a query from a byte tape using
+// only parseable factor shapes.
+func queryFromTape(db *data.Database, tape []byte) *Query {
+	pos := 0
+	next := func() byte {
+		if len(tape) == 0 {
+			return 0
+		}
+		b := tape[pos%len(tape)]
+		pos++
+		return b
+	}
+	discrete := []string{"store", "item", "color"}
+	numeric := []string{"sales", "price"}
+	attr := func(names []string) data.AttrID {
+		id, _ := db.AttrByName(names[int(next())%len(names)])
+		return id
+	}
+	var groupBy []data.AttrID
+	for i := 0; i < int(next())%3; i++ {
+		groupBy = append(groupBy, attr(discrete))
+	}
+	var aggs []Aggregate
+	for i := 0; i <= int(next())%3; i++ {
+		var terms []Term
+		for j := 0; j <= int(next())%2; j++ {
+			var fs []Factor
+			for k := 0; k < int(next())%3; k++ {
+				switch next() % 6 {
+				case 0:
+					fs = append(fs, IdentF(attr(numeric)))
+				case 1:
+					fs = append(fs, PowF(attr(numeric), 2+int(next())%3))
+				case 2:
+					ops := []CmpOp{LE, LT, GE, GT, EQ, NE}
+					fs = append(fs, IndicatorF(attr(numeric), ops[int(next())%len(ops)],
+						float64(int(next())-128)/4))
+				case 3:
+					set := []int64{int64(next() % 8), int64(next() % 8)}
+					fs = append(fs, InSetF(attr(discrete), set))
+				case 4:
+					fs = append(fs, LogF(attr(numeric)))
+				default:
+					fs = append(fs, ConstF(float64(next())/2))
+				}
+			}
+			tm := NewTerm(fs...)
+			tm.Coef = float64(int(next())-128) / 4
+			if tm.Coef == 0 {
+				tm.Coef = 1
+			}
+			terms = append(terms, tm)
+		}
+		aggs = append(aggs, NewAggregate("a", terms...))
+	}
+	return NewQuery("q", groupBy, aggs...)
+}

@@ -1,0 +1,193 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Parse reads a query from the paper's compact syntax as produced by
+// (*Query).Format:
+//
+//	name(attr1, attr2; SUM term + term, SUM term)
+//	name(SUM term, ...)                                (no group-by)
+//
+// with terms being ·-joined factors with an optional numeric coefficient:
+// attribute names, pow (attr^2), indicators (1[attr <= 3]), set membership
+// (1[attr in {1,2}]), log(attr) and numeric constants. Attribute names
+// resolve against db (or the positional x<id> form when db is nil). Custom
+// UDFs cannot be parsed — they are closures with no textual form.
+//
+// Aggregate names are not part of the syntax; parsed aggregates are named
+// a0, a1, ... . Parse is the inverse of Format up to those names:
+// Parse(Format(q)) formats identically to q for any q without custom
+// factors.
+func Parse(db *data.Database, s string) (*Query, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("query: parse: want name(...), got %q", s)
+	}
+	name := s[:open]
+	body := s[open+1 : len(s)-1]
+
+	var groupBy []data.AttrID
+	if i := strings.Index(body, "; "); i >= 0 {
+		head := body[:i]
+		body = body[i+2:]
+		for _, part := range strings.Split(head, ", ") {
+			id, err := parseAttr(db, part)
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, id)
+		}
+	}
+	if !strings.HasPrefix(body, "SUM ") {
+		return nil, fmt.Errorf("query: parse: aggregate list must start with SUM, got %q", body)
+	}
+	var aggs []Aggregate
+	for ai, aggSrc := range strings.Split(body[len("SUM "):], ", SUM ") {
+		agg, err := parseAggregate(db, fmt.Sprintf("a%d", ai), aggSrc)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, agg)
+	}
+	return NewQuery(name, groupBy, aggs...), nil
+}
+
+func parseAggregate(db *data.Database, name, s string) (Aggregate, error) {
+	var terms []Term
+	for _, termSrc := range strings.Split(s, " + ") {
+		t, err := parseTerm(db, termSrc)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		terms = append(terms, t)
+	}
+	return NewAggregate(name, terms...), nil
+}
+
+func parseTerm(db *data.Database, s string) (Term, error) {
+	if s == "" {
+		return Term{}, fmt.Errorf("query: parse: empty term")
+	}
+	parts := strings.Split(s, "·")
+	t := Term{Coef: 1}
+	for i, p := range parts {
+		if i == 0 {
+			// A leading numeric token is the coefficient — except when it
+			// is the whole term (a bare constant term).
+			if v, err := strconv.ParseFloat(p, 64); err == nil && len(parts) > 1 {
+				t.Coef = v
+				continue
+			}
+		}
+		f, err := parseFactor(db, p)
+		if err != nil {
+			return Term{}, err
+		}
+		t.Factors = append(t.Factors, f)
+	}
+	return t, nil
+}
+
+func parseFactor(db *data.Database, s string) (Factor, error) {
+	switch {
+	case strings.HasPrefix(s, "1[") && strings.HasSuffix(s, "]"):
+		return parseIndicator(db, s[2:len(s)-1])
+	case strings.HasPrefix(s, "log(") && strings.HasSuffix(s, ")"):
+		id, err := parseAttr(db, s[4:len(s)-1])
+		if err != nil {
+			return Factor{}, err
+		}
+		return LogF(id), nil
+	}
+	if i := strings.LastIndex(s, "^"); i >= 0 {
+		exp, err := strconv.Atoi(s[i+1:])
+		if err != nil || exp < 1 {
+			return Factor{}, fmt.Errorf("query: parse: bad exponent in %q", s)
+		}
+		id, err := parseAttr(db, s[:i])
+		if err != nil {
+			return Factor{}, err
+		}
+		return PowF(id, exp), nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return ConstF(v), nil
+	}
+	if strings.Contains(s, "(") {
+		return Factor{}, fmt.Errorf("query: parse: custom factor %q has no textual form", s)
+	}
+	id, err := parseAttr(db, s)
+	if err != nil {
+		return Factor{}, err
+	}
+	return IdentF(id), nil
+}
+
+// indicator operators, longest first so "<=" wins over "<".
+var cmpOps = []struct {
+	text string
+	op   CmpOp
+}{
+	{"<=", LE}, {">=", GE}, {"<>", NE}, {"<", LT}, {">", GT}, {"=", EQ},
+}
+
+func parseIndicator(db *data.Database, s string) (Factor, error) {
+	// Set membership: "attr in {v1,v2}".
+	if i := strings.Index(s, " in {"); i >= 0 && strings.HasSuffix(s, "}") {
+		id, err := parseAttr(db, s[:i])
+		if err != nil {
+			return Factor{}, err
+		}
+		var set []int64
+		body := s[i+len(" in {") : len(s)-1]
+		if body != "" {
+			for _, p := range strings.Split(body, ",") {
+				v, err := strconv.ParseInt(p, 10, 64)
+				if err != nil {
+					return Factor{}, fmt.Errorf("query: parse: bad set element %q", p)
+				}
+				set = append(set, v)
+			}
+		}
+		return InSetF(id, set), nil
+	}
+	// Comparison: "attr op threshold".
+	for _, c := range cmpOps {
+		mid := " " + c.text + " "
+		if i := strings.Index(s, mid); i >= 0 {
+			id, err := parseAttr(db, s[:i])
+			if err != nil {
+				return Factor{}, err
+			}
+			v, err := strconv.ParseFloat(s[i+len(mid):], 64)
+			if err != nil {
+				return Factor{}, fmt.Errorf("query: parse: bad threshold in %q", s)
+			}
+			return IndicatorF(id, c.op, v), nil
+		}
+	}
+	return Factor{}, fmt.Errorf("query: parse: bad indicator body %q", s)
+}
+
+func parseAttr(db *data.Database, s string) (data.AttrID, error) {
+	if db == nil {
+		if strings.HasPrefix(s, "x") {
+			if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 {
+				return data.AttrID(n), nil
+			}
+		}
+		return 0, fmt.Errorf("query: parse: bad positional attribute %q", s)
+	}
+	id, ok := db.AttrByName(s)
+	if !ok {
+		return 0, fmt.Errorf("query: parse: unknown attribute %q", s)
+	}
+	return id, nil
+}

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func parseDB() *data.Database {
+	db := data.NewDatabase()
+	db.Attr("store", data.Key)
+	db.Attr("item", data.Key)
+	db.Attr("color", data.Categorical)
+	db.Attr("sales", data.Numeric)
+	db.Attr("price", data.Numeric)
+	return db
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	db := parseDB()
+	store, _ := db.AttrByName("store")
+	item, _ := db.AttrByName("item")
+	color, _ := db.AttrByName("color")
+	sales, _ := db.AttrByName("sales")
+	price, _ := db.AttrByName("price")
+
+	cases := []*Query{
+		NewQuery("count", nil, CountAgg()),
+		NewQuery("q1", []data.AttrID{store}, SumAgg(sales)),
+		NewQuery("q2", []data.AttrID{store, item}, SumProdAgg(sales, price), SumPowAgg(sales, 3)),
+		NewQuery("q3", []data.AttrID{color},
+			NewAggregate("a", NewTerm(IndicatorF(sales, LE, 2.5), IdentF(price)).Scaled(2),
+				NewTerm(InSetF(color, []int64{1, 2})).Scaled(-1)),
+			NewAggregate("b", NewTerm(LogF(price))),
+			NewAggregate("c", NewTerm(ConstF(3)))),
+	}
+	for _, q := range cases {
+		s1 := q.Format(db)
+		p1, err := Parse(db, s1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s1, err)
+		}
+		s2 := p1.Format(db)
+		if s1 != s2 {
+			t.Fatalf("round trip changed %q to %q", s1, s2)
+		}
+		if len(p1.GroupBy) != len(q.GroupBy) || len(p1.Aggs) != len(q.Aggs) {
+			t.Fatalf("round trip of %q lost structure", s1)
+		}
+	}
+}
+
+func TestParsePositional(t *testing.T) {
+	q := NewQuery("q", []data.AttrID{2}, SumAgg(3), CountAgg())
+	s1 := q.Format(nil)
+	p, err := Parse(nil, s1)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s1, err)
+	}
+	if s2 := p.Format(nil); s1 != s2 {
+		t.Fatalf("positional round trip changed %q to %q", s1, s2)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	db := parseDB()
+	sales, _ := db.AttrByName("sales")
+	for _, op := range []CmpOp{LE, LT, GE, GT, EQ, NE} {
+		q := NewQuery("q", nil, NewAggregate("a", NewTerm(IndicatorF(sales, op, -1.25))))
+		s1 := q.Format(db)
+		p, err := Parse(db, s1)
+		if err != nil {
+			t.Fatalf("op %v: Parse(%q): %v", op, s1, err)
+		}
+		f := p.Aggs[0].Terms[0].Factors[0]
+		if f.Kind != Indicator || f.Op != op || f.Threshold != -1.25 {
+			t.Fatalf("op %v: parsed %+v from %q", op, f, s1)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := parseDB()
+	bad := []string{
+		"",
+		"noparen",
+		"q(SUM",
+		"q()",
+		"q(store)",               // no SUM
+		"q(ghost; SUM 1)",        // unknown group-by attribute
+		"q(SUM ghost)",           // unknown aggregate attribute
+		"q(SUM udf(sales))",      // custom factors have no textual form
+		"q(SUM sales^x)",         // bad exponent
+		"q(SUM 1[sales ? 3])",    // bad operator
+		"q(SUM 1[color in {z}])", // bad set element
+	}
+	for _, s := range bad {
+		if _, err := Parse(db, s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+	if _, err := Parse(db, "q(SUM store·2)"); err != nil {
+		t.Errorf("discrete attribute in aggregate should parse (validation is separate): %v", err)
+	}
+	if !strings.Contains(mustErr(t, db, "q(SUM ghost)").Error(), "unknown attribute") {
+		t.Error("unknown attribute error not surfaced")
+	}
+}
+
+func mustErr(t *testing.T, db *data.Database, s string) error {
+	t.Helper()
+	_, err := Parse(db, s)
+	if err == nil {
+		t.Fatalf("Parse(%q) succeeded", s)
+	}
+	return err
+}

@@ -1,0 +1,131 @@
+package lmfao
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/moo"
+)
+
+// Update describes one batch of inserts and deletes against a base relation
+// (columns in the relation's schema order).
+type Update = data.Delta
+
+// ApplyStats reports what an incremental maintenance pass did. Incremental
+// is false when the session had to fall back to a full recompute.
+type ApplyStats struct {
+	moo.ApplyStats
+	Incremental bool
+}
+
+// Session keeps a query batch's materialized view DAG alive across base-data
+// updates: Run computes it once, Apply mutates the base relations and
+// incrementally maintains every view — re-evaluating only the dirty subset
+// of the DAG, with deletes handled as negative-weight inserts — instead of
+// recomputing from scratch.
+//
+// Output views carry a trailing hidden tuple-count column (name
+// core.CountColName); aggregate columns keep their query order, so
+// applications indexing columns by aggregate position are unaffected.
+//
+// Limitations: aggregates must live in the sum-product semiring (every
+// Aggregate built from this package's constructors does; MIN/MAX-style
+// aggregates, which are not expressible here, would not survive deletes).
+// Updates against relations folded into a materialized hypertree bag fall
+// back to a full recompute. Sessions are not safe for concurrent use.
+type Session struct {
+	eng     *Engine
+	queries []*Query
+	res     *BatchResult
+}
+
+// NewSession builds an engine over db with TrackCounts enabled and prepares
+// a maintainable session for the query batch.
+func NewSession(db *Database, queries []*Query, opts Options) (*Session, error) {
+	opts.TrackCounts = true
+	eng, err := moo.NewEngine(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionWithEngine(eng, queries)
+}
+
+// NewSessionWithEngine wraps an existing engine; its options must have
+// TrackCounts set.
+func NewSessionWithEngine(eng *Engine, queries []*Query) (*Session, error) {
+	if !eng.Options().TrackCounts {
+		return nil, fmt.Errorf("lmfao: session engine needs Options.TrackCounts")
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("lmfao: empty session batch")
+	}
+	return &Session{eng: eng, queries: queries}, nil
+}
+
+// Engine returns the session's engine.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Run (re)computes the batch from scratch and caches the full view DAG.
+func (s *Session) Run() (*BatchResult, error) {
+	res, err := s.eng.Run(s.queries)
+	if err != nil {
+		return nil, err
+	}
+	s.res = res
+	return res, nil
+}
+
+// Result returns the cached batch result (nil before the first Run).
+func (s *Session) Result() *BatchResult { return s.res }
+
+// Apply applies the updates to the base relations and maintains the cached
+// result, one update at a time (interleaving mutation and maintenance keeps
+// multi-relation batches exact: each delta is evaluated against the state
+// its predecessors produced). Relations the maintenance layer cannot handle
+// incrementally trigger one full recompute instead.
+func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
+	out := make([]*ApplyStats, 0, len(updates))
+	for _, u := range updates {
+		if err := s.eng.DB().ApplyDelta(u); err != nil {
+			return out, err
+		}
+		if s.res == nil {
+			continue // first Run below sees the mutated base
+		}
+		res, st, err := s.eng.Apply(s.res, u)
+		switch {
+		case err == nil:
+			s.res = res
+			out = append(out, &ApplyStats{ApplyStats: *st, Incremental: true})
+		case errors.Is(err, moo.ErrNotIncremental):
+			if _, err := s.Run(); err != nil {
+				return out, err
+			}
+			out = append(out, &ApplyStats{ApplyStats: moo.ApplyStats{Relation: u.Relation,
+				Inserted: u.InsertRows(), Deleted: u.DeleteRows()}, Incremental: false})
+		default:
+			// The base is already mutated; the cached result no longer
+			// matches it. Drop the cache so the next Run/Apply recomputes
+			// instead of serving (or merging into) stale views.
+			s.res = nil
+			return out, err
+		}
+	}
+	if s.res == nil {
+		if _, err := s.Run(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// InsertRows builds an insert-only update.
+func InsertRows(relation string, cols ...Column) Update {
+	return Update{Relation: relation, Inserts: cols}
+}
+
+// DeleteRows builds a delete-only update.
+func DeleteRows(relation string, cols ...Column) Update {
+	return Update{Relation: relation, Deletes: cols}
+}

@@ -1,0 +1,118 @@
+package lmfao
+
+import (
+	"testing"
+)
+
+// sessionFixture builds sales(store, amount) ⋈ stores(store, region).
+func sessionFixture(t *testing.T) (*Database, AttrID, AttrID, AttrID) {
+	t.Helper()
+	db := NewDatabase()
+	store := db.Attr("store", Key)
+	amount := db.Attr("amount", Numeric)
+	region := db.Attr("region", Categorical)
+	if err := db.AddRelation(NewRelation("sales",
+		[]AttrID{store, amount},
+		[]Column{IntColumn([]int64{0, 0, 1, 1, 2}), FloatColumn([]float64{1, 2, 3, 4, 5})})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(NewRelation("stores",
+		[]AttrID{store, region},
+		[]Column{IntColumn([]int64{0, 1, 2}), IntColumn([]int64{10, 10, 20})})); err != nil {
+		t.Fatal(err)
+	}
+	return db, store, amount, region
+}
+
+func lookupRow(t *testing.T, r *Result, key ...int64) []float64 {
+	t.Helper()
+	i := r.Lookup(key...)
+	if i < 0 {
+		t.Fatalf("key %v not in result", key)
+	}
+	row := make([]float64, r.Stride)
+	for c := range row {
+		row[c] = r.Val(i, c)
+	}
+	return row
+}
+
+func TestSessionIncrementalMaintenance(t *testing.T) {
+	db, _, amount, region := sessionFixture(t)
+	queries := []*Query{
+		NewQuery("byregion", []AttrID{region}, Count(), Sum(amount)),
+		NewQuery("total", nil, Sum(amount)),
+	}
+	sess, err := NewSession(db, queries, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupRow(t, sess.Result().Results[0], 10)[1]; got != 10 {
+		t.Fatalf("initial SUM(amount) region 10 = %g, want 10", got)
+	}
+
+	// Insert two sales at store 0 (region 10), delete the store-2 sale
+	// (region 20's only tuple).
+	stats, err := sess.Apply(Update{
+		Relation: "sales",
+		Inserts:  []Column{IntColumn([]int64{0, 0}), FloatColumn([]float64{10, 20})},
+		Deletes:  []Column{IntColumn([]int64{2}), FloatColumn([]float64{5})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || !stats[0].Incremental {
+		t.Fatalf("expected one incremental maintenance pass, got %+v", stats)
+	}
+	res := sess.Result()
+	if got := lookupRow(t, res.Results[0], 10); got[0] != 6 || got[1] != 40 {
+		t.Fatalf("region 10 after update = %v, want [6 40 ...]", got)
+	}
+	if res.Results[0].Lookup(20) >= 0 {
+		t.Fatal("region 20 should vanish after its only tuple was deleted")
+	}
+	if got := lookupRow(t, res.Results[1])[0]; got != 40 {
+		t.Fatalf("scalar total after update = %g, want 40", got)
+	}
+
+	// The base relation's delta log recorded both halves.
+	if entries := db.Relation("sales").DeltaLog(0); len(entries) != 2 {
+		t.Fatalf("delta log has %d entries, want 2 (delete + append)", len(entries))
+	}
+}
+
+func TestSessionApplyBeforeRun(t *testing.T) {
+	db, _, amount, _ := sessionFixture(t)
+	sess, err := NewSession(db, []*Query{NewQuery("total", nil, Sum(amount))}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Applying before the first Run mutates the base and computes fresh.
+	if _, err := sess.Apply(InsertRows("sales", IntColumn([]int64{0}), FloatColumn([]float64{100}))); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupRow(t, sess.Result().Results[0])[0]; got != 115 {
+		t.Fatalf("total = %g, want 115", got)
+	}
+}
+
+func TestSessionDeleteMissingRowFails(t *testing.T) {
+	db, _, amount, _ := sessionFixture(t)
+	sess, err := NewSession(db, []*Query{NewQuery("total", nil, Sum(amount))}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Apply(DeleteRows("sales", IntColumn([]int64{9}), FloatColumn([]float64{9}))); err == nil {
+		t.Fatal("deleting a non-existent tuple succeeded")
+	}
+	// The failed update must not have corrupted the maintained state.
+	if got := lookupRow(t, sess.Result().Results[0])[0]; got != 15 {
+		t.Fatalf("total after failed delete = %g, want 15", got)
+	}
+}
