@@ -1,0 +1,113 @@
+package lmfao_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	lmfao "repro"
+)
+
+// salesDB builds the two-relation example database used by the doc
+// examples: Sales(store, amount) natural-joined with Stores(store, region).
+func salesDB() (db *lmfao.Database, region, amount lmfao.AttrID) {
+	db = lmfao.NewDatabase()
+	store := db.Attr("store", lmfao.Key)
+	amount = db.Attr("amount", lmfao.Numeric)
+	region = db.Attr("region", lmfao.Categorical)
+	if err := db.AddRelation(lmfao.NewRelation("Sales",
+		[]lmfao.AttrID{store, amount},
+		[]lmfao.Column{
+			lmfao.IntColumn([]int64{0, 0, 1, 2}),
+			lmfao.FloatColumn([]float64{10, 5, 7, 3}),
+		})); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddRelation(lmfao.NewRelation("Stores",
+		[]lmfao.AttrID{store, region},
+		[]lmfao.Column{
+			lmfao.IntColumn([]int64{0, 1, 2}),
+			lmfao.IntColumn([]int64{0, 0, 1}),
+		})); err != nil {
+		log.Fatal(err)
+	}
+	return db, region, amount
+}
+
+// printGrouped prints a grouped result's first aggregate column in key
+// order (result rows follow the scan order, which is not part of the API).
+func printGrouped(res *lmfao.Result) {
+	type row struct {
+		key int64
+		val float64
+	}
+	rows := make([]row, res.NumRows())
+	for i := range rows {
+		rows[i] = row{res.KeyAt(i, 0), res.Val(i, 0)}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	for _, r := range rows {
+		fmt.Printf("region %d: %g\n", r.key, r.val)
+	}
+}
+
+// ExampleNewEngine runs a small batch — one scalar and one grouped
+// aggregate over the natural join of Sales and Stores — from scratch.
+func ExampleNewEngine() {
+	db, region, amount := salesDB()
+	eng, err := lmfao.NewEngine(db, lmfao.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run([]*lmfao.Query{
+		lmfao.NewQuery("total", nil, lmfao.Sum(amount)),
+		lmfao.NewQuery("by_region", []lmfao.AttrID{region}, lmfao.Sum(amount)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total = %g\n", res.Results[0].Val(0, 0))
+	printGrouped(res.Results[1])
+	// Output:
+	// total = 25
+	// region 0: 22
+	// region 1: 3
+}
+
+// ExampleNewSession computes a batch once and keeps it fresh under
+// base-data updates: Apply mutates the relations and incrementally
+// maintains every view instead of recomputing from scratch.
+func ExampleNewSession() {
+	db, region, amount := salesDB()
+	queries := []*lmfao.Query{
+		lmfao.NewQuery("by_region", []lmfao.AttrID{region}, lmfao.Sum(amount)),
+	}
+	sess, err := lmfao.NewSession(db, queries, lmfao.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	printGrouped(sess.Result().Results[0])
+
+	// Two new sales at store 1, one returned sale at store 0 — applied and
+	// maintained in one call.
+	stats, err := sess.Apply(
+		lmfao.InsertRows("Sales",
+			lmfao.IntColumn([]int64{1, 1}), lmfao.FloatColumn([]float64{4, 2})),
+		lmfao.DeleteRows("Sales",
+			lmfao.IntColumn([]int64{0}), lmfao.FloatColumn([]float64{5})),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental: %v %v\n", stats[0].Incremental, stats[1].Incremental)
+	printGrouped(sess.Result().Results[0])
+	// Output:
+	// region 0: 22
+	// region 1: 3
+	// incremental: true true
+	// region 0: 23
+	// region 1: 3
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/data"
 	"repro/internal/jointree"
 	"repro/internal/query"
 )
@@ -60,7 +61,14 @@ type Plan struct {
 	// CountCol[v] is the column of view v holding its hidden tuple count,
 	// or nil when the plan was built without TrackCounts.
 	CountCol []int
-	Stats    Stats
+	// ConsumerKeys[v] lists, for internal view v, the group-by attributes
+	// shared with its consuming node's schema (ascending) — the join key the
+	// view binds on during the consumer's scans, and hence the indexable
+	// attributes for semi-join-restricted maintenance (internal/ivm). Empty
+	// for output views and for views binding on no attributes (scalar
+	// inputs).
+	ConsumerKeys [][]data.AttrID
+	Stats        Stats
 }
 
 // BuildPlan runs the logical layers — Find Roots, Aggregate Pushdown, Merge
@@ -90,15 +98,16 @@ func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Pla
 	}
 
 	p := &Plan{
-		Tree:       t,
-		Queries:    queries,
-		Roots:      roots,
-		Views:      views,
-		OutputView: make([]int, len(queries)),
-		Groups:     groups,
-		GroupDeps:  deps,
-		Provenance: computeProvenance(t, views),
-		CountCol:   countCol,
+		Tree:         t,
+		Queries:      queries,
+		Roots:        roots,
+		Views:        views,
+		OutputView:   make([]int, len(queries)),
+		Groups:       groups,
+		GroupDeps:    deps,
+		Provenance:   computeProvenance(t, views),
+		CountCol:     countCol,
+		ConsumerKeys: computeConsumerKeys(t, views),
 	}
 	totalAggs := 0
 	for _, v := range views {

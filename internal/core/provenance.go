@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/data"
 	"repro/internal/jointree"
 )
 
@@ -56,6 +57,27 @@ func computeProvenance(t *jointree.Tree, views []*View) [][]int {
 		}
 	}
 	return prov
+}
+
+// computeConsumerKeys returns, per internal view, the group-by attributes
+// that also appear in the consuming node's schema (ascending; View.GroupBy is
+// already sorted). This is the consumer key the executor binds the view on,
+// and the attribute list a semi-join-restricted maintenance scan indexes the
+// consumer's base relation by. Output views have no consumer, hence nil.
+func computeConsumerKeys(t *jointree.Tree, views []*View) [][]data.AttrID {
+	out := make([][]data.AttrID, len(views))
+	for i, v := range views {
+		if v.IsOutput() {
+			continue
+		}
+		node := t.Nodes[v.To]
+		for _, g := range v.GroupBy {
+			if node.HasAttr(g) {
+				out[i] = append(out[i], g)
+			}
+		}
+	}
+	return out
 }
 
 // FeedsView reports whether node is in view v's provenance.

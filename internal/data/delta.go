@@ -64,13 +64,22 @@ func (r *Relation) Version() int64 { return r.version }
 
 // maxDeltaLogEntries bounds the per-relation delta log: a long-lived
 // relation under steady updates must not grow memory without bound. The
-// oldest entries are dropped first; consumers detect truncation when the
-// first retained entry's Seq exceeds the Seq they resumed from.
+// oldest entries are dropped first; DeltaLogTruncatedThrough records the
+// eviction high-water mark so consumers can detect the gap.
 const maxDeltaLogEntries = 1024
 
 // DeltaLog returns the applied delta entries with Seq > since, oldest first.
-// Pass since = 0 for the full retained log (the log keeps at most
-// maxDeltaLogEntries recent entries; see TruncateDeltaLog).
+// Pass since = 0 for the full retained log.
+//
+// The log keeps at most maxDeltaLogEntries recent entries (older ones are
+// also reclaimed by TruncateDeltaLog), so the result can silently omit
+// evicted changes: after truncation, DeltaLog(since) returns only the
+// retained suffix, NOT an error or a sentinel. A consumer resuming from
+// `since` must treat the result as complete only when
+// since >= DeltaLogTruncatedThrough(); otherwise entries in
+// (since, truncatedThrough] were evicted and the consumer's view of the
+// relation can no longer be caught up from the log alone — it must fall
+// back to a full re-read (e.g. a Session recompute).
 func (r *Relation) DeltaLog(since int64) []DeltaEntry {
 	var out []DeltaEntry
 	for _, e := range r.log {
@@ -81,13 +90,22 @@ func (r *Relation) DeltaLog(since int64) []DeltaEntry {
 	return out
 }
 
+// DeltaLogTruncatedThrough returns the highest Seq ever evicted from the
+// delta log (0 when nothing has been evicted). DeltaLog(since) is a
+// complete record of the relation's changes after `since` if and only if
+// since >= DeltaLogTruncatedThrough().
+func (r *Relation) DeltaLogTruncatedThrough() int64 { return r.logDropped }
+
 // TruncateDeltaLog drops log entries with Seq <= upTo, reclaiming their
-// tuple snapshots. Pass the last Seq a consumer has durably processed.
+// tuple snapshots. Pass the last Seq a consumer has durably processed. The
+// dropped range is recorded in DeltaLogTruncatedThrough.
 func (r *Relation) TruncateDeltaLog(upTo int64) {
 	keep := r.log[:0]
 	for _, e := range r.log {
 		if e.Seq > upTo {
 			keep = append(keep, e)
+		} else if e.Seq > r.logDropped {
+			r.logDropped = e.Seq
 		}
 	}
 	for i := len(keep); i < len(r.log); i++ {
@@ -101,6 +119,9 @@ func (r *Relation) logDelta(e DeltaEntry) {
 	r.log = append(r.log, e)
 	if len(r.log) > maxDeltaLogEntries {
 		over := len(r.log) - maxDeltaLogEntries
+		if dropped := r.log[over-1].Seq; dropped > r.logDropped {
+			r.logDropped = dropped
+		}
 		copy(r.log, r.log[over:])
 		for i := maxDeltaLogEntries; i < len(r.log); i++ {
 			r.log[i] = DeltaEntry{}

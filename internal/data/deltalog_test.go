@@ -1,0 +1,97 @@
+package data
+
+import "testing"
+
+func deltaLogFixture(t *testing.T) *Relation {
+	t.Helper()
+	db := NewDatabase()
+	k := db.Attr("k", Key)
+	rel := NewRelation("R", []AttrID{k}, []Column{NewIntColumn([]int64{0})})
+	if err := db.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func appendOne(t *testing.T, rel *Relation, v int64) {
+	t.Helper()
+	if err := rel.Append([]Column{NewIntColumn([]int64{v})}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaLogGapDetection pins the documented contract: DeltaLog(since) is
+// complete iff since >= DeltaLogTruncatedThrough(), both under explicit
+// TruncateDeltaLog and under the retention cap.
+func TestDeltaLogGapDetection(t *testing.T) {
+	rel := deltaLogFixture(t)
+	for i := int64(1); i <= 5; i++ {
+		appendOne(t, rel, i)
+	}
+	if got := rel.DeltaLogTruncatedThrough(); got != 0 {
+		t.Fatalf("fresh log: truncatedThrough = %d, want 0", got)
+	}
+	if got := len(rel.DeltaLog(0)); got != 5 {
+		t.Fatalf("full log: %d entries, want 5", got)
+	}
+
+	// Explicit truncation: entries Seq <= 3 evicted.
+	rel.TruncateDeltaLog(3)
+	if got := rel.DeltaLogTruncatedThrough(); got != 3 {
+		t.Fatalf("after truncate(3): truncatedThrough = %d, want 3", got)
+	}
+	// A consumer resumed from since=1 gets a silently gapped log (entries
+	// 2,3 are gone) and must detect it via the high-water mark.
+	gapped := rel.DeltaLog(1)
+	if len(gapped) != 2 || gapped[0].Seq != 4 {
+		t.Fatalf("DeltaLog(1) after truncation: got %d entries, first seq %d", len(gapped), gapped[0].Seq)
+	}
+	if since := int64(1); since >= rel.DeltaLogTruncatedThrough() {
+		t.Fatal("since=1 must be detected as gapped")
+	}
+	// A consumer resumed from since=3 (or later) is complete.
+	if since := int64(3); since < rel.DeltaLogTruncatedThrough() {
+		t.Fatal("since=3 must be complete")
+	}
+	if got := rel.DeltaLog(3); len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("DeltaLog(3): got %v entries", len(got))
+	}
+
+	// Idempotent / non-regressing high-water mark.
+	rel.TruncateDeltaLog(2)
+	if got := rel.DeltaLogTruncatedThrough(); got != 3 {
+		t.Fatalf("truncate(2) after truncate(3): truncatedThrough = %d, want 3", got)
+	}
+}
+
+// TestDeltaLogRetentionCap verifies the cap evicts oldest-first and records
+// the eviction in DeltaLogTruncatedThrough.
+func TestDeltaLogRetentionCap(t *testing.T) {
+	rel := deltaLogFixture(t)
+	total := maxDeltaLogEntries + 7
+	for i := 0; i < total; i++ {
+		appendOne(t, rel, int64(i))
+	}
+	log := rel.DeltaLog(0)
+	if len(log) != maxDeltaLogEntries {
+		t.Fatalf("retained %d entries, want %d", len(log), maxDeltaLogEntries)
+	}
+	wantFirst := int64(total - maxDeltaLogEntries + 1)
+	if log[0].Seq != wantFirst {
+		t.Fatalf("oldest retained Seq = %d, want %d", log[0].Seq, wantFirst)
+	}
+	if got, want := rel.DeltaLogTruncatedThrough(), wantFirst-1; got != want {
+		t.Fatalf("truncatedThrough = %d, want %d", got, want)
+	}
+	// Seqs are consecutive: DeltaLog(truncatedThrough) is exactly the
+	// retained suffix with no gap.
+	resumed := rel.DeltaLog(rel.DeltaLogTruncatedThrough())
+	if len(resumed) != maxDeltaLogEntries || resumed[0].Seq != wantFirst {
+		t.Fatalf("resume at high-water mark: %d entries, first %d", len(resumed), resumed[0].Seq)
+	}
+	for i := 1; i < len(resumed); i++ {
+		if resumed[i].Seq != resumed[i-1].Seq+1 {
+			t.Fatalf("non-consecutive Seq at %d: %d after %d", i, resumed[i].Seq, resumed[i-1].Seq)
+		}
+	}
+}

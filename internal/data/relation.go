@@ -29,6 +29,15 @@ type Relation struct {
 	// applied deltas (see DeltaLog). Mutations must not race with reads.
 	version int64
 	log     []DeltaEntry
+	// logDropped is the highest Seq ever evicted from the log, by the
+	// retention cap or TruncateDeltaLog (see DeltaLogTruncatedThrough).
+	logDropped int64
+
+	// keyIdx caches join-key indexes per attribute list (see KeyIndex);
+	// keyIdxMu guards it because maintenance passes may overlap with
+	// concurrent plan compilation reads.
+	keyIdxMu sync.Mutex
+	keyIdx   map[string]keyIndexEntry
 }
 
 // NewRelation constructs a relation over the given attributes and columns.

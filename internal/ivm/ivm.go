@@ -17,8 +17,16 @@
 //     substituted scan compute exactly the view's delta.
 //   - Views whose provenance excludes p are untouched, as are their groups.
 //
-// The execution half (delta scans, merge into cached ViewData) lives in
-// internal/moo (Engine.Apply); the public API is lmfao.Session.
+// Analyze additionally plans the semi-join restriction for the substituted
+// scans: at an unchanged node only the base rows whose join-key values appear
+// among the delta's keys can contribute (every product of a dirty view has
+// exactly one delta-input factor), so each Step carries the attribute sets
+// (Step.SemiJoinAttrs) on which the executor may index the base relation and
+// scan just the delta-joining row subset instead of the full relation.
+//
+// The execution half (delta scans, semi-join row gathering via
+// data.KeyIndex, merge into cached ViewData) lives in internal/moo
+// (Engine.Apply); the public API is lmfao.Session.
 package ivm
 
 import (
@@ -26,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/data"
 )
 
 // Step is one maintenance action: re-run a (subset of a) plan group to
@@ -47,6 +56,19 @@ type Step struct {
 	// cache. Empty when AtDelta (inputs of views at the changed node are
 	// all clean).
 	DeltaInputs []int
+	// SemiJoinAttrs, parallel to DeltaInputs, lists the attributes (the
+	// delta input's consumer key, ascending) on which that input joins the
+	// step node's relation. Non-nil iff the semi-join restriction is sound
+	// for this step: every product aggregate of a dirty view here contains
+	// exactly one delta-input factor (the pushdown invariant: one input per
+	// child edge, and the changed node lies behind exactly one edge), so a
+	// base row can contribute to some view's delta only if at least one
+	// delta input binds a non-empty entry range for it — i.e. the row's
+	// values on that input's consumer key appear among the delta's keys.
+	// The executor may therefore scan just the union, over delta inputs, of
+	// base rows semi-joining that input's key set. Nil when any delta input
+	// binds on no attributes (it joins every row; no restriction exists).
+	SemiJoinAttrs [][]data.AttrID
 }
 
 // Schedule is the maintenance plan for one base-relation delta: the steps in
@@ -70,6 +92,9 @@ func Analyze(p *core.Plan, changed int) (*Schedule, error) {
 	}
 	if len(p.Provenance) != len(p.Views) {
 		return nil, fmt.Errorf("ivm: plan has no provenance")
+	}
+	if len(p.ConsumerKeys) != len(p.Views) {
+		return nil, fmt.Errorf("ivm: plan has no consumer-key metadata")
 	}
 	dirty := make([]bool, len(p.Views))
 	s := &Schedule{Changed: changed}
@@ -108,6 +133,21 @@ func Analyze(p *core.Plan, changed int) (*Schedule, error) {
 			sort.Ints(st.DeltaInputs)
 			if len(st.DeltaInputs) == 0 {
 				return nil, fmt.Errorf("ivm: dirty group %d at node %d has no dirty inputs", g.ID, g.Node)
+			}
+			// Semi-join restriction: the key sets that propagate from the
+			// changed node to this step are the delta inputs' consumer keys.
+			keys := make([][]data.AttrID, len(st.DeltaInputs))
+			restrict := true
+			for i, in := range st.DeltaInputs {
+				ck := p.ConsumerKeys[in]
+				if len(ck) == 0 {
+					restrict = false
+					break
+				}
+				keys[i] = ck
+			}
+			if restrict {
+				st.SemiJoinAttrs = keys
 			}
 		}
 		s.Steps = append(s.Steps, st)

@@ -149,6 +149,99 @@ func TestAnalyzeCountCols(t *testing.T) {
 	}
 }
 
+// TestAnalyzeSemiJoinAttrs checks the semi-join planning invariants: every
+// non-at-delta step either carries one attribute set per delta input — each
+// equal to that input's consumer key, every attribute in the step node's
+// schema — or is explicitly unrestricted (nil) because some input binds on no
+// attributes.
+func TestAnalyzeSemiJoinAttrs(t *testing.T) {
+	plan := chainPlan(t)
+	restricted := 0
+	for node := range plan.Tree.Nodes {
+		sched, err := Analyze(plan, node)
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+		for _, st := range sched.Steps {
+			if st.AtDelta {
+				if st.SemiJoinAttrs != nil {
+					t.Fatalf("node %d: at-delta step carries semi-join attrs", node)
+				}
+				continue
+			}
+			if st.SemiJoinAttrs == nil {
+				for _, in := range st.DeltaInputs {
+					if len(plan.ConsumerKeys[in]) > 0 {
+						t.Fatalf("node %d group %d: restriction dropped but every input has a key", node, st.Group)
+					}
+				}
+				continue
+			}
+			restricted++
+			if len(st.SemiJoinAttrs) != len(st.DeltaInputs) {
+				t.Fatalf("node %d group %d: %d attr sets for %d delta inputs",
+					node, st.Group, len(st.SemiJoinAttrs), len(st.DeltaInputs))
+			}
+			stepNode := plan.Tree.Nodes[st.Node]
+			for i, in := range st.DeltaInputs {
+				attrs := st.SemiJoinAttrs[i]
+				if len(attrs) == 0 {
+					t.Fatalf("node %d group %d: empty attr set for input %d", node, st.Group, in)
+				}
+				ck := plan.ConsumerKeys[in]
+				if len(attrs) != len(ck) {
+					t.Fatalf("node %d group %d input %d: attrs %v != consumer key %v",
+						node, st.Group, in, attrs, ck)
+				}
+				for j, a := range attrs {
+					if a != ck[j] {
+						t.Fatalf("node %d group %d input %d: attrs %v != consumer key %v",
+							node, st.Group, in, attrs, ck)
+					}
+					if !stepNode.HasAttr(a) {
+						t.Fatalf("node %d group %d input %d: attr %d not in node schema",
+							node, st.Group, in, a)
+					}
+				}
+			}
+		}
+	}
+	if restricted == 0 {
+		t.Fatal("chain plan produced no semi-join-restricted steps")
+	}
+}
+
+// TestConsumerKeys pins the plan metadata: every internal view's consumer key
+// is its group-by intersected with the consuming node's schema, in ascending
+// order.
+func TestConsumerKeys(t *testing.T) {
+	plan := chainPlan(t)
+	for _, v := range plan.Views {
+		ck := plan.ConsumerKeys[v.ID]
+		if v.IsOutput() {
+			if ck != nil {
+				t.Fatalf("output view %d has consumer key %v", v.ID, ck)
+			}
+			continue
+		}
+		node := plan.Tree.Nodes[v.To]
+		var want []data.AttrID
+		for _, g := range v.GroupBy {
+			if node.HasAttr(g) {
+				want = append(want, g)
+			}
+		}
+		if len(ck) != len(want) {
+			t.Fatalf("view %d: consumer key %v, want %v", v.ID, ck, want)
+		}
+		for i := range ck {
+			if ck[i] != want[i] {
+				t.Fatalf("view %d: consumer key %v, want %v", v.ID, ck, want)
+			}
+		}
+	}
+}
+
 func TestAnalyzeBadNode(t *testing.T) {
 	plan := chainPlan(t)
 	if _, err := Analyze(plan, -1); err == nil {

@@ -20,7 +20,16 @@ type Node struct {
 	ID    int
 	Rel   *data.Relation
 	Attrs []data.AttrID // sorted schema of Rel
+	// Members lists the base-relation names folded into this node: the
+	// relation's own name for plain nodes, the merged relations for
+	// materialized hypertree bags. The maintenance layer uses it to route a
+	// delta against a bag member to the bag node (see Tree.NodeByMember).
+	Members []string
 }
+
+// IsBag reports whether the node is a materialized hypertree bag (holds the
+// join of two or more base relations).
+func (n *Node) IsBag() bool { return len(n.Members) > 1 }
 
 // HasAttr reports whether the node's schema contains id.
 func (n *Node) HasAttr(id data.AttrID) bool {
@@ -66,6 +75,10 @@ func Build(db *data.Database, opts ...Option) (*Tree, error) {
 	if len(rels) == 0 {
 		return nil, fmt.Errorf("jointree: database has no relations")
 	}
+	members := make([][]string, len(rels))
+	for i, r := range rels {
+		members[i] = []string{r.Name}
+	}
 
 	// Merge bags until the hypergraph is acyclic.
 	for !Acyclic(schemas(rels)) {
@@ -82,7 +95,9 @@ func Build(db *data.Database, opts ...Option) (*Tree, error) {
 				bag.Name, bag.Len(), cfg.maxBagRows)
 		}
 		rels[i] = bag
+		members[i] = append(members[i], members[j]...)
 		rels = append(rels[:j], rels[j+1:]...)
+		members = append(members[:j], members[j+1:]...)
 	}
 
 	// A relation whose schema is contained in another contributes no join
@@ -90,7 +105,7 @@ func Build(db *data.Database, opts ...Option) (*Tree, error) {
 	// aggregates); containment only matters for the GYO test above.
 	t := &Tree{DB: db, below: make(map[[2]int][]data.AttrID)}
 	for i, r := range rels {
-		t.Nodes = append(t.Nodes, &Node{ID: i, Rel: r, Attrs: sortedSchema(r)})
+		t.Nodes = append(t.Nodes, &Node{ID: i, Rel: r, Attrs: sortedSchema(r), Members: members[i]})
 	}
 	t.Adj = make([][]int, len(t.Nodes))
 	if err := t.spanningTree(); err != nil {
@@ -203,6 +218,25 @@ func (t *Tree) NodeByRelation(name string) *Node {
 	for _, n := range t.Nodes {
 		if n.Rel.Name == name {
 			return n
+		}
+	}
+	return nil
+}
+
+// NodeByMember returns the node whose member set contains the named base
+// relation: the relation's own node, or the materialized bag it was folded
+// into. Nil when the name is neither a node relation nor a bag member (trees
+// whose nodes were constructed without member metadata fall back to
+// NodeByRelation semantics).
+func (t *Tree) NodeByMember(name string) *Node {
+	for _, n := range t.Nodes {
+		if n.Rel.Name == name {
+			return n
+		}
+		for _, m := range n.Members {
+			if m == name {
+				return n
+			}
 		}
 	}
 	return nil

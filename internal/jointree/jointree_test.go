@@ -118,6 +118,63 @@ func TestBuildTriangleDecomposes(t *testing.T) {
 	}
 }
 
+// TestNodeMembers pins the member metadata: plain nodes carry their own
+// relation name, bags the merged names, and NodeByMember routes members to
+// their bag while NodeByRelation does not.
+func TestNodeMembers(t *testing.T) {
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	c := db.Attr("c", data.Key)
+	mk := func(name string, x, y data.AttrID) {
+		rel := data.NewRelation(name, []data.AttrID{x, y}, []data.Column{
+			data.NewIntColumn([]int64{1, 1, 2}),
+			data.NewIntColumn([]int64{1, 2, 2}),
+		})
+		if err := db.AddRelation(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("R", a, b)
+	mk("S", b, c)
+	mk("T", a, c)
+	tree, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bag, plain *Node
+	for _, n := range tree.Nodes {
+		if n.IsBag() {
+			bag = n
+		} else {
+			plain = n
+		}
+	}
+	if bag == nil || plain == nil {
+		t.Fatalf("expected one bag and one plain node")
+	}
+	if len(bag.Members) != 2 {
+		t.Fatalf("bag members = %v", bag.Members)
+	}
+	if len(plain.Members) != 1 || plain.Members[0] != plain.Rel.Name {
+		t.Fatalf("plain node members = %v", plain.Members)
+	}
+	for _, m := range bag.Members {
+		if tree.NodeByMember(m) != bag {
+			t.Fatalf("NodeByMember(%q) did not return the bag", m)
+		}
+		if tree.NodeByRelation(m) != nil {
+			t.Fatalf("NodeByRelation(%q) found a folded member", m)
+		}
+	}
+	if tree.NodeByMember(plain.Rel.Name) != plain {
+		t.Fatal("NodeByMember must fall back to the node relation name")
+	}
+	if tree.NodeByMember("nope") != nil {
+		t.Fatal("NodeByMember of unknown name must be nil")
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	db := data.NewDatabase()
 	if _, err := Build(db); err == nil {

@@ -1,0 +1,308 @@
+package moo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/jointree"
+	"repro/internal/query"
+)
+
+// starQueries is a small mixed batch over the starDB fixture touching every
+// relation: scalar count, dimension-grouped sums, and a cross-relation
+// product.
+func starQueries(ids map[string]data.AttrID) []*query.Query {
+	return []*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("byc1", []data.AttrID{ids["c1"]}, query.SumAgg(ids["m"]), query.SumAgg(ids["p1"])),
+		query.NewQuery("byk2", []data.AttrID{ids["k2"]}, query.SumProdAgg(ids["m"], ids["p0"])),
+	}
+}
+
+// dimensionDelta updates dimension D1: re-prices two keys (delete the old
+// tuples, insert replacements) — the classic dimension-table update.
+func dimensionDelta(t *testing.T, db *data.Database) data.Delta {
+	t.Helper()
+	rel := db.Relation("D1")
+	pick := []int{2, 5}
+	old := make([][]int64, 2)
+	oldP := make([]float64, len(pick))
+	for c := 0; c < 2; c++ {
+		old[c] = make([]int64, len(pick))
+		for i, r := range pick {
+			old[c][i] = rel.Cols[c].Ints[r]
+		}
+	}
+	for i, r := range pick {
+		oldP[i] = rel.Cols[2].Floats[r]
+	}
+	newP := make([]float64, len(pick))
+	for i, p := range oldP {
+		newP[i] = p + 1.5
+	}
+	return data.Delta{
+		Relation: "D1",
+		Deletes:  []data.Column{data.NewIntColumn(old[0]), data.NewIntColumn(old[1]), data.NewFloatColumn(oldP)},
+		Inserts:  []data.Column{data.NewIntColumn(old[0]), data.NewIntColumn(old[1]), data.NewFloatColumn(newP)},
+	}
+}
+
+// TestApplySemiJoinMatchesFullScan applies the same dimension-table delta
+// under semi-join-restricted and full-scan maintenance and demands
+// bit-identical view DAGs: the restriction drops only rows that cannot
+// contribute, so even the float accumulation order of the retained rows is
+// unchanged.
+func TestApplySemiJoinMatchesFullScan(t *testing.T) {
+	db, ids := starDB(t, 2000, 11)
+	tree, err := jointree.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := starQueries(ids)
+	opts := Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, TrackCounts: true}
+	optsSemi := opts
+	optsSemi.SemiJoin = true
+	semi := NewEngineWithTree(db, tree, optsSemi)
+	full := NewEngineWithTree(db, tree, opts)
+	semiRes, err := semi.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := full.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for step := 0; step < 3; step++ {
+		d := dimensionDelta(t, db)
+		if err := db.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+		var semiStats, fullStats *ApplyStats
+		semiRes, semiStats, err = semi.Apply(semiRes, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullRes, fullStats, err = full.Apply(fullRes, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if semiStats.SemiJoinGroups == 0 {
+			t.Fatalf("step %d: no semi-join-restricted groups (stats %+v)", step, semiStats)
+		}
+		if semiStats.ScannedRows >= semiStats.BaseRows {
+			t.Fatalf("step %d: semi-join scanned %d of %d base rows", step, semiStats.ScannedRows, semiStats.BaseRows)
+		}
+		if fullStats.SemiJoinGroups != 0 || fullStats.ScannedRows != fullStats.BaseRows {
+			t.Fatalf("step %d: full-scan engine restricted its scans (stats %+v)", step, fullStats)
+		}
+		if semiStats.DirtyGroups != fullStats.DirtyGroups || semiStats.DirtyViews != fullStats.DirtyViews {
+			t.Fatalf("step %d: schedules diverge: %+v vs %+v", step, semiStats, fullStats)
+		}
+
+		for vid := range semiRes.Materialized {
+			sm := viewToMap(semiRes.Materialized[vid])
+			fm := viewToMap(fullRes.Materialized[vid])
+			if !reflect.DeepEqual(sm, fm) {
+				t.Fatalf("step %d: view %d differs between semi-join and full-scan maintenance", step, vid)
+			}
+		}
+	}
+
+	// The maintained outputs must also match the baseline over the final state.
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		compareResults(t, "semi/"+queries[qi].Name, semiRes.Results[qi], want[qi])
+	}
+}
+
+// triangleDB builds the cyclic R(a,b,w) ⋈ S(b,c) ⋈ T(a,c) schema whose join
+// tree folds R and S into a materialized bag.
+func triangleDB(t *testing.T, seed int64) (*data.Database, []data.AttrID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := data.NewDatabase()
+	a := db.Attr("a", data.Key)
+	b := db.Attr("b", data.Key)
+	c := db.Attr("c", data.Key)
+	w := db.Attr("w", data.Numeric)
+	mk := func(name string, x, y data.AttrID, withW bool) {
+		n := 25
+		xv := make([]int64, n)
+		yv := make([]int64, n)
+		wv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xv[i] = int64(rng.Intn(4))
+			yv[i] = int64(rng.Intn(4))
+			wv[i] = float64(rng.Intn(5)) + 0.5
+		}
+		attrs := []data.AttrID{x, y}
+		cols := []data.Column{data.NewIntColumn(xv), data.NewIntColumn(yv)}
+		if withW {
+			attrs = append(attrs, w)
+			cols = append(cols, data.NewFloatColumn(wv))
+		}
+		if err := db.AddRelation(data.NewRelation(name, attrs, cols)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("R", a, b, true)
+	mk("S", b, c, false)
+	mk("T", a, c, false)
+	return db, []data.AttrID{a, b, c, w}
+}
+
+// TestApplyBagMemberDelta maintains a session through updates against a
+// relation folded into a materialized hypertree bag: the delta must be
+// expanded over the bag's sibling members, the bag relation kept in sync,
+// and the maintained outputs must match both the brute-force baseline and a
+// from-scratch recompute over the same tree.
+func TestApplyBagMemberDelta(t *testing.T) {
+	db, attrs := triangleDB(t, 5)
+	a, w := attrs[0], attrs[3]
+	queries := []*query.Query{
+		query.NewQuery("count", nil, query.CountAgg()),
+		query.NewQuery("bya", []data.AttrID{a}, query.SumAgg(w)),
+	}
+	opts := Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, TrackCounts: true, SemiJoin: true}
+	eng, err := NewEngine(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bagNode := eng.Tree().NodeByMember("R")
+	if bagNode == nil || !bagNode.IsBag() {
+		t.Fatalf("expected R folded into a bag; tree:\n%s", eng.Tree())
+	}
+	res, err := eng.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1: insert two fresh R tuples and delete one existing one.
+	rel := db.Relation("R")
+	del := []data.Column{
+		data.NewIntColumn([]int64{rel.Cols[0].Ints[0]}),
+		data.NewIntColumn([]int64{rel.Cols[1].Ints[0]}),
+		data.NewFloatColumn([]float64{rel.Cols[2].Floats[0]}),
+	}
+	ins := []data.Column{
+		data.NewIntColumn([]int64{1, 3}),
+		data.NewIntColumn([]int64{2, 0}),
+		data.NewFloatColumn([]float64{9.5, 0.25}),
+	}
+	steps := []data.Delta{
+		{Relation: "R", Inserts: ins, Deletes: del},
+		// Step 2: delete one of the rows inserted in step 1.
+		{Relation: "R", Deletes: []data.Column{
+			data.NewIntColumn([]int64{1}), data.NewIntColumn([]int64{2}), data.NewFloatColumn([]float64{9.5}),
+		}},
+	}
+	for si, d := range steps {
+		if err := db.ApplyDelta(d); err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+		var stats *ApplyStats
+		res, stats, err = eng.Apply(res, d)
+		if err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+		if stats.Bag != bagNode.Rel.Name {
+			t.Fatalf("step %d: stats.Bag = %q, want %q", si, stats.Bag, bagNode.Rel.Name)
+		}
+		if stats.Relation != "R" {
+			t.Fatalf("step %d: stats.Relation = %q", si, stats.Relation)
+		}
+
+		base, err := baseline.New(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Run(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range queries {
+			compareResults(t, queries[qi].Name, res.Results[qi], want[qi])
+		}
+
+		// The bag relation must mirror its members: a from-scratch run over
+		// the same tree agrees on every materialized view.
+		fresh := NewEngineWithTree(db, eng.Tree(), opts)
+		full, err := fresh.RunPlan(res.Plan)
+		if err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+		for vid := range full.Materialized {
+			gm := viewToMap(res.Materialized[vid])
+			wm := viewToMap(full.Materialized[vid])
+			if len(gm) != len(wm) {
+				t.Fatalf("step %d: view %d has %d rows maintained, %d recomputed", si, vid, len(gm), len(wm))
+			}
+			for key, wrow := range wm {
+				grow, ok := gm[key]
+				if !ok {
+					t.Fatalf("step %d: view %d missing key", si, vid)
+				}
+				for col := range wrow {
+					if !closeEnough(grow[col], wrow[col]) {
+						t.Fatalf("step %d: view %d col %d: got %g want %g", si, vid, col, grow[col], wrow[col])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyBagDeltaJoinsNothing: a member insert whose keys join no sibling
+// rows expands to an empty bag delta — the cached result must be returned
+// unchanged and stay consistent with a recompute.
+func TestApplyBagDeltaJoinsNothing(t *testing.T) {
+	db, attrs := triangleDB(t, 9)
+	a, w := attrs[0], attrs[3]
+	queries := []*query.Query{query.NewQuery("bya", []data.AttrID{a}, query.SumAgg(w))}
+	opts := Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, TrackCounts: true, SemiJoin: true}
+	eng, err := NewEngine(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.Delta{Relation: "R", Inserts: []data.Column{
+		data.NewIntColumn([]int64{77}), data.NewIntColumn([]int64{88}), data.NewFloatColumn([]float64{1.5}),
+	}}
+	if err := db.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	res2, stats, err := eng.Apply(res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Fatal("empty expanded delta must return the cached result")
+	}
+	if stats.Bag == "" || stats.DirtyGroups != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	base, err := baseline.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "bya", res2.Results[0], want[0])
+}

@@ -3,16 +3,18 @@ package moo
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/ivm"
+	"repro/internal/jointree"
 )
 
 // ErrNotIncremental marks deltas the maintenance layer cannot handle
-// incrementally (e.g. relations folded into a materialized hypertree bag);
-// callers should fall back to a full recompute.
+// incrementally (e.g. relations absent from the join tree); callers should
+// fall back to a full recompute.
 var ErrNotIncremental = errors.New("moo: delta not incrementally maintainable")
 
 // ApplyStats reports what one incremental maintenance pass did.
@@ -20,6 +22,10 @@ type ApplyStats struct {
 	Relation string
 	Inserted int
 	Deleted  int
+	// Bag names the materialized hypertree bag maintained in place of
+	// Relation when the delta targeted a base relation folded into one ("");
+	// the delta was expanded by joining it with the bag's other members.
+	Bag string
 	// DirtyGroups of TotalGroups were re-evaluated (over delta tuples at
 	// the changed node, over the base relation with substituted delta
 	// inputs elsewhere); DirtyViews of TotalViews were re-merged.
@@ -27,7 +33,20 @@ type ApplyStats struct {
 	TotalGroups int
 	DirtyViews  int
 	TotalViews  int
-	Elapsed     time.Duration
+	// SemiJoinGroups of the dirty groups at unchanged nodes were evaluated
+	// over an index-restricted row subset (Options.SemiJoin); FullScanGroups
+	// scanned their full base relation. At-delta groups are in neither.
+	SemiJoinGroups int
+	FullScanGroups int
+	// ScannedRows totals the base rows actually scanned at unchanged dirty
+	// nodes; BaseRows what a full-scan maintenance pass would have scanned.
+	ScannedRows int
+	BaseRows    int
+	// ScanElapsed covers delta evaluation (the per-step scans), MergeElapsed
+	// folding the deltas into the cached views; Elapsed is the whole pass.
+	ScanElapsed  time.Duration
+	MergeElapsed time.Duration
+	Elapsed      time.Duration
 }
 
 // Apply incrementally maintains a previous batch result against a delta that
@@ -35,6 +54,15 @@ type ApplyStats struct {
 // combined mutate-and-maintain path). It re-evaluates only the dirty subset
 // of the view DAG per internal/ivm's schedule and merges the deltas into the
 // cached views, returning a new BatchResult; prev is left untouched.
+//
+// With Options.SemiJoin, scans at unchanged nodes cover only the base rows
+// that join the delta's keys (gathered through lazily built data.KeyIndex
+// indexes) instead of the full relation.
+//
+// A delta against a base relation folded into a materialized hypertree bag
+// is expanded into the bag's delta (joined with the bag's other members) and
+// maintained at the bag node; as a side effect the bag's materialized
+// relation is brought in sync with its already-mutated member.
 //
 // The result must have been produced by an engine with Options.TrackCounts:
 // the hidden per-view tuple counts are what make row deletion exact.
@@ -47,19 +75,27 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 	if plan.CountCol == nil {
 		return nil, nil, fmt.Errorf("moo: Apply needs a plan built with TrackCounts (set Options.TrackCounts)")
 	}
-	node := e.tree.NodeByRelation(d.Relation)
-	if node == nil {
-		return nil, nil, fmt.Errorf("%w: relation %q is not a join-tree node (materialized bag member?)", ErrNotIncremental, d.Relation)
-	}
-	if err := d.Validate(node.Rel); err != nil {
-		return nil, nil, err
-	}
 	stats := &ApplyStats{
 		Relation:    d.Relation,
 		Inserted:    d.InsertRows(),
 		Deleted:     d.DeleteRows(),
 		TotalGroups: len(plan.Groups),
 		TotalViews:  len(plan.Views),
+	}
+	node := e.tree.NodeByRelation(d.Relation)
+	if node == nil {
+		bag := e.tree.NodeByMember(d.Relation)
+		if bag == nil {
+			return nil, nil, fmt.Errorf("%w: relation %q is not in the join tree", ErrNotIncremental, d.Relation)
+		}
+		expanded, err := e.foldBagDelta(bag, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		node, d = bag, expanded
+		stats.Bag = bag.Rel.Name
+	} else if err := d.Validate(node.Rel); err != nil {
+		return nil, nil, err
 	}
 	if d.Empty() {
 		stats.Elapsed = time.Since(start)
@@ -83,6 +119,7 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 	// work starts as the cached state; as steps complete, dirty views are
 	// replaced by their deltas so later steps bind the delta views. Clean
 	// inputs keep reading the cache (they are never dirty).
+	scanStart := time.Now()
 	work := append([]*ViewData(nil), prev.Materialized...)
 	deltas := make([]*ViewData, len(plan.Views))
 	for _, st := range sched.Steps {
@@ -116,7 +153,25 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 				if err != nil {
 					return nil, nil, err
 				}
-				if err := e.execGroup(gp, scratch, nil, false); err != nil {
+				// Semi-join restriction: scan only the base rows joining the
+				// delta's keys (nil override = full base scan).
+				stepRel := e.tree.Nodes[st.Node].Rel
+				var relOverride *data.Relation
+				if e.opts.SemiJoin && st.SemiJoinAttrs != nil {
+					relOverride, err = e.semiJoinSubset(stepRel, st, deltas)
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+				if relOverride != nil {
+					stats.SemiJoinGroups++
+					stats.ScannedRows += relOverride.Len()
+				} else {
+					stats.FullScanGroups++
+					stats.ScannedRows += stepRel.Len()
+				}
+				stats.BaseRows += stepRel.Len()
+				if err := e.execGroup(gp, scratch, relOverride, false); err != nil {
 					return nil, nil, err
 				}
 				for _, vid := range st.Dirty {
@@ -128,14 +183,17 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 			work[vid] = deltas[vid]
 		}
 	}
+	stats.ScanElapsed = time.Since(scanStart)
 
 	// Merge the deltas into a fresh materialized state.
+	mergeStart := time.Now()
 	mat := append([]*ViewData(nil), prev.Materialized...)
 	for _, vid := range sched.DirtyViews {
 		v := plan.Views[vid]
 		keepScalar := v.IsOutput() && len(v.GroupBy) == 0
 		mat[vid] = mergeDelta(prev.Materialized[vid], deltas[vid], plan.CountCol[vid], viewTarget(plan, v), keepScalar)
 	}
+	stats.MergeElapsed = time.Since(mergeStart)
 	res := &BatchResult{
 		Plan:         plan,
 		Results:      make([]*ViewData, len(plan.Queries)),
@@ -200,6 +258,200 @@ func (e *Engine) runDeltaScans(plan *core.Plan, g *core.Group, work []*ViewData,
 	return ins, del, nil
 }
 
+// semiJoinSubset gathers the rows of rel that join at least one delta
+// input's key set, per the step's semi-join plan (ivm.Step.SemiJoinAttrs):
+// dropped rows bind no delta input, and every product aggregate of a dirty
+// view here contains exactly one delta-input factor, so they cannot
+// contribute to any view delta. Returns nil (meaning: full scan) when the
+// subset would cover most of the relation, where the cached full-scan sort
+// is cheaper than gathering and re-sorting the subset.
+func (e *Engine) semiJoinSubset(rel *data.Relation, st ivm.Step, deltas []*ViewData) (*data.Relation, error) {
+	var rows []int32
+	for i, in := range st.DeltaInputs {
+		dv := deltas[in]
+		if dv == nil || dv.NumRows() == 0 {
+			continue
+		}
+		attrs := st.SemiJoinAttrs[i]
+		ix, err := rel.KeyIndex(attrs)
+		if err != nil {
+			return nil, err
+		}
+		// Positions of the semi-join attributes in the delta view's group-by.
+		pos := make([]int, len(attrs))
+		for j, a := range attrs {
+			p := -1
+			for gi, g := range dv.GroupBy {
+				if g == a {
+					p = gi
+					break
+				}
+			}
+			if p < 0 {
+				return nil, fmt.Errorf("moo: delta view %d lacks semi-join attribute %d", in, a)
+			}
+			pos[j] = p
+		}
+		seen := make(map[string]struct{}, dv.NumRows())
+		buf := make([]byte, 0, 8*len(attrs))
+		for r := 0; r < dv.NumRows(); r++ {
+			buf = buf[:0]
+			for _, p := range pos {
+				buf = data.AppendKey(buf, dv.KeyAt(r, p))
+			}
+			if _, dup := seen[string(buf)]; dup {
+				continue
+			}
+			seen[string(buf)] = struct{}{}
+			rows = append(rows, ix.Rows(string(buf))...)
+		}
+	}
+	if len(rows) == 0 {
+		return rel.GatherRows(nil), nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	uniq := rows[:1]
+	for _, r := range rows[1:] {
+		if r != uniq[len(uniq)-1] {
+			uniq = append(uniq, r)
+		}
+	}
+	if 2*len(uniq) > rel.Len() {
+		return nil, nil
+	}
+	return rel.GatherRows(uniq), nil
+}
+
+// SyncBagMember brings the engine's materialized hypertree bag in sync with
+// a delta ALREADY applied to one of its member base relations; a no-op for
+// relations that are join-tree nodes themselves (or absent from the tree).
+// Engine.Apply folds bags as part of maintenance — this entry point exists
+// for callers that mutate base data without maintaining a cached result
+// (e.g. lmfao.Session before its first Run), where skipping the fold would
+// leave the bag stale and later full runs silently wrong.
+func (e *Engine) SyncBagMember(d data.Delta) error {
+	if d.Empty() || e.tree.NodeByRelation(d.Relation) != nil {
+		return nil
+	}
+	bag := e.tree.NodeByMember(d.Relation)
+	if bag == nil {
+		return nil
+	}
+	_, err := e.foldBagDelta(bag, d)
+	return err
+}
+
+// foldBagDelta expands a member delta into the bag's delta and folds it into
+// the bag's materialized relation, keeping it mirroring the natural join of
+// its (already-mutated) members. Returns the expanded delta for maintenance.
+func (e *Engine) foldBagDelta(bag *jointree.Node, d data.Delta) (data.Delta, error) {
+	expanded, err := e.expandBagDelta(bag, d)
+	if err != nil {
+		return data.Delta{}, err
+	}
+	if expanded.DeleteRows() > 0 {
+		if err := bag.Rel.DeleteRows(expanded.Deletes); err != nil {
+			return data.Delta{}, fmt.Errorf("moo: bag %q out of sync with member %q: %w",
+				bag.Rel.Name, d.Relation, err)
+		}
+	}
+	if expanded.InsertRows() > 0 {
+		if err := bag.Rel.Append(expanded.Inserts); err != nil {
+			return data.Delta{}, err
+		}
+	}
+	return expanded, nil
+}
+
+// expandBagDelta translates a delta against a base relation folded into a
+// materialized bag into the bag's own delta: with only Ri changed (one
+// relation per Delta by contract), Δ(R1 ⋈ … ⋈ Rk) = ΔRi ⋈ Π_{j≠i} Rj, for
+// inserts and deletes alike (deletes are negative-weight inserts). The
+// sibling members are read at their current state; ΔRi itself was already
+// applied to Ri by the caller, and Ri does not participate in the join.
+func (e *Engine) expandBagDelta(bag *jointree.Node, d data.Delta) (data.Delta, error) {
+	member := e.db.Relation(d.Relation)
+	if member == nil {
+		return data.Delta{}, fmt.Errorf("moo: delta against unknown relation %q", d.Relation)
+	}
+	if err := d.Validate(member); err != nil {
+		return data.Delta{}, err
+	}
+	var siblings []*data.Relation
+	for _, name := range bag.Members {
+		if name == d.Relation {
+			continue
+		}
+		rel := e.db.Relation(name)
+		if rel == nil {
+			return data.Delta{}, fmt.Errorf("moo: bag %q member %q not in database", bag.Rel.Name, name)
+		}
+		siblings = append(siblings, rel)
+	}
+	out := data.Delta{Relation: bag.Rel.Name}
+	var err error
+	if d.InsertRows() > 0 {
+		if out.Inserts, err = e.joinBlock(bag, member, d.Inserts, siblings); err != nil {
+			return data.Delta{}, err
+		}
+	}
+	if d.DeleteRows() > 0 {
+		if out.Deletes, err = e.joinBlock(bag, member, d.Deletes, siblings); err != nil {
+			return data.Delta{}, err
+		}
+	}
+	return out, nil
+}
+
+// joinBlock natural-joins one member's tuple block with the bag's other
+// members and projects the result into the bag relation's schema order.
+// Members are joined greedily by shared-attribute count, mirroring how the
+// bag itself was merged, so every intermediate join has a key whenever one
+// exists (an empty intersection degrades to the cross product, which is the
+// natural-join semantics for disjoint schemas).
+func (e *Engine) joinBlock(bag *jointree.Node, member *data.Relation, block []data.Column, siblings []*data.Relation) ([]data.Column, error) {
+	acc := data.NewRelation(member.Name, member.Attrs, block)
+	remaining := append([]*data.Relation(nil), siblings...)
+	for len(remaining) > 0 {
+		best, overlap := 0, -1
+		for i, r := range remaining {
+			w := countSharedAttrs(acc.Attrs, r.Attrs)
+			if w > overlap {
+				best, overlap = i, w
+			}
+		}
+		next := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		var err error
+		acc, err = jointree.NaturalJoin(e.db, acc, next, "Δ"+bag.Rel.Name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cols := make([]data.Column, len(bag.Rel.Attrs))
+	for i, a := range bag.Rel.Attrs {
+		c, ok := acc.Col(a)
+		if !ok {
+			return nil, fmt.Errorf("moo: bag %q attribute %d missing from expanded delta", bag.Rel.Name, a)
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
+func countSharedAttrs(a, b []data.AttrID) int {
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
 func pickView(vs []*ViewData, vid int) *ViewData {
 	if vs == nil {
 		return nil
@@ -252,14 +504,15 @@ func mergeDelta(old, delta *ViewData, countCol int, target []data.AttrID, keepSc
 	if delta == nil || delta.NumRows() == 0 {
 		return old
 	}
-	// Finalized internal views merge by a sorted two-pointer walk (no
-	// hashing); application outputs (unsorted) patch values in place via a
-	// hash index when the row set is unchanged, else rebuild.
-	if merged := mergeSorted(old, delta, countCol); merged != nil {
-		return merged
-	}
+	// Common case first: every delta key exists and none vanishes, so the
+	// aggregate values are patched in place, sharing the cached key columns
+	// and indexes. Row-set changes fall to the sorted splice-merge (internal
+	// views) or the hash-and-rebuild path (application outputs).
 	if fast := mergeFast(old, delta, countCol); fast != nil {
 		return fast
+	}
+	if merged := mergeSorted(old, delta, countCol); merged != nil {
+		return merged
 	}
 	b := newViewBuilder(old.GroupBy, old.Stride, false)
 	addViewInto(b, old, 1)
@@ -319,38 +572,42 @@ func mergeSorted(old, delta *ViewData, countCol int) *ViewData {
 		}
 		out.rows++
 	}
-	i, j := 0, 0
-	for i < old.rows || j < delta.rows {
-		switch {
-		case j == delta.rows:
-			appendRow(old, i, nil, 0)
+	// The delta has few rows relative to the cached view, so the merge walks
+	// the delta and bulk-copies the untouched old-row runs between splice
+	// points (binary-searched) instead of appending row by row — the
+	// dominant cost is moving the old view's arrays, which this leaves to
+	// memmove.
+	copyRun := func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		for c := range out.Keys {
+			out.Keys[c] = append(out.Keys[c], old.Keys[c][lo:hi]...)
+		}
+		out.Vals = append(out.Vals, old.Vals[lo*old.Stride:hi*old.Stride]...)
+		out.rows += hi - lo
+	}
+	i := 0
+	for j := 0; j < delta.rows; j++ {
+		// First old row not before delta row j. Group-by keys are unique per
+		// view, so at most one old row matches.
+		k := i + sort.Search(old.rows-i, func(m int) bool { return cmp(i+m, j) >= 0 })
+		copyRun(i, k)
+		i = k
+		if i < old.rows && cmp(i, j) == 0 {
+			if old.Val(i, countCol)+delta.Val(j, countCol) != 0 {
+				appendRow(old, i, delta, j)
+			}
 			i++
-		case i == old.rows:
-			if delta.Val(j, countCol) != 0 {
-				appendRow(delta, j, nil, 0)
-			}
-			j++
-		default:
-			switch cmp(i, j) {
-			case -1:
-				appendRow(old, i, nil, 0)
-				i++
-			case 1:
-				if delta.Val(j, countCol) != 0 {
-					appendRow(delta, j, nil, 0)
-				}
-				j++
-			default:
-				if old.Val(i, countCol)+delta.Val(j, countCol) != 0 {
-					appendRow(old, i, delta, j)
-				}
-				i++
-				j++
-			}
+		} else if delta.Val(j, countCol) != 0 {
+			appendRow(delta, j, nil, 0)
 		}
 	}
+	copyRun(i, old.rows)
 	// Rebuild the consumer-key range index over the (still sorted) rows.
-	out.index = make(map[string][2]int32, out.rows)
+	// Sized by the old range count, not the row count: pre-sizing a map by
+	// rows costs more than the merge itself on wide-keyed views.
+	out.index = make(map[string][2]int32, len(old.index)+delta.rows)
 	buf := make([]byte, 0, 8*len(out.skeyPos))
 	start := 0
 	for i := 1; i <= out.rows; i++ {
@@ -371,28 +628,27 @@ func mergeSorted(old, delta *ViewData, countCol int) *ViewData {
 // cached view and no tuple count reaches zero, so the row set is unchanged.
 // The result shares the cached view's key columns, range index and full-key
 // index; only the aggregate values are copied and patched — skipping the
-// re-hash, re-sort and re-index of the general path. Returns nil when the
-// preconditions fail.
+// re-hash, re-sort and re-index of the general path. Finalized internal
+// views are probed through their consumer-key range index plus a binary
+// search over the extras (no per-row hash map to build); unsorted
+// application outputs fall back to the lazily built full-key index. Returns
+// nil when the preconditions fail.
 func mergeFast(old, delta *ViewData, countCol int) *ViewData {
 	if old.rows == 0 || delta.rows > old.rows {
 		return nil
 	}
-	idx := old.fullKeyIndex()
 	rows := make([]int32, delta.rows)
-	buf := make([]byte, 0, 8*len(delta.GroupBy))
-	for i := 0; i < delta.rows; i++ {
-		buf = buf[:0]
-		for c := range delta.GroupBy {
-			buf = data.AppendKey(buf, delta.Keys[c][i])
-		}
-		r, ok := idx[string(buf)]
-		if !ok {
+	if old.index != nil {
+		if !locateSorted(old, delta, rows) {
 			return nil // new group-by key: general path inserts it
 		}
+	} else if !locateHashed(old, delta, rows) {
+		return nil
+	}
+	for i, r := range rows {
 		if old.Val(int(r), countCol)+delta.Val(i, countCol) == 0 {
 			return nil // key vanishes: general path drops it
 		}
-		rows[i] = r
 	}
 	out := &ViewData{
 		GroupBy:  old.GroupBy,
@@ -403,7 +659,7 @@ func mergeFast(old, delta *ViewData, countCol int) *ViewData {
 		skeyPos:  old.skeyPos,
 		extraPos: old.extraPos,
 		index:    old.index,
-		fullIdx:  idx,
+		fullIdx:  old.fullIdx,
 	}
 	for i, r := range rows {
 		dst := out.Vals[int(r)*out.Stride : (int(r)+1)*out.Stride]
@@ -413,6 +669,64 @@ func mergeFast(old, delta *ViewData, countCol int) *ViewData {
 		}
 	}
 	return out
+}
+
+// locateSorted resolves each delta row to its row in a finalized view via
+// the consumer-key range index and a binary search over the extras (the
+// rows of a range are sorted by them). The delta is finalized identically,
+// so key positions line up. Returns false if any delta key is absent.
+func locateSorted(old, delta *ViewData, rows []int32) bool {
+	buf := make([]byte, 0, 8*len(old.skeyPos))
+	for i := 0; i < delta.rows; i++ {
+		buf = buf[:0]
+		for _, c := range old.skeyPos {
+			buf = data.AppendKey(buf, delta.Keys[c][i])
+		}
+		rng, ok := old.index[string(buf)]
+		if !ok {
+			return false
+		}
+		lo, hi := int(rng[0]), int(rng[1])
+		k := sort.Search(hi-lo, func(m int) bool {
+			r := lo + m
+			for _, c := range old.extraPos {
+				if old.Keys[c][r] != delta.Keys[c][i] {
+					return old.Keys[c][r] > delta.Keys[c][i]
+				}
+			}
+			return true
+		})
+		r := lo + k
+		if r == hi {
+			return false
+		}
+		for _, c := range old.extraPos {
+			if old.Keys[c][r] != delta.Keys[c][i] {
+				return false
+			}
+		}
+		rows[i] = int32(r)
+	}
+	return true
+}
+
+// locateHashed resolves delta rows through the full-key hash index (built
+// lazily, cached on the view) — the path for unsorted application outputs.
+func locateHashed(old, delta *ViewData, rows []int32) bool {
+	idx := old.fullKeyIndex()
+	buf := make([]byte, 0, 8*len(delta.GroupBy))
+	for i := 0; i < delta.rows; i++ {
+		buf = buf[:0]
+		for c := range delta.GroupBy {
+			buf = data.AppendKey(buf, delta.Keys[c][i])
+		}
+		r, ok := idx[string(buf)]
+		if !ok {
+			return false
+		}
+		rows[i] = r
+	}
+	return true
 }
 
 // dropZeroCountRows filters rows whose tuple count is exactly zero.

@@ -37,6 +37,12 @@ type Options struct {
 	// result can be incrementally maintained via Apply (see internal/ivm).
 	// Output views gain a trailing core.CountColName column.
 	TrackCounts bool
+	// SemiJoin restricts Apply's maintenance scans at unchanged join-tree
+	// nodes to the base rows that join the delta's keys, using lazily built
+	// join-key indexes (data.KeyIndex) instead of full base scans. Run is
+	// unaffected. Off, Apply reproduces the full-scan maintenance of the
+	// pre-semi-join engine — the ablation baseline for the -update bench.
+	SemiJoin bool
 }
 
 // DefaultOptions enables all optimizations with the paper's four threads
@@ -52,6 +58,7 @@ func DefaultOptions() Options {
 		Compiled:           true,
 		Threads:            t,
 		DomainParallelRows: 65536,
+		SemiJoin:           true,
 	}
 }
 

@@ -38,8 +38,45 @@ func BenchmarkApplyRetailer(b *testing.B) {
 	}
 }
 
+// benchApplyDim measures dimension-table maintenance (the semi-join
+// restriction's target case) with the restriction on or off.
+func benchApplyDim(b *testing.B, semiJoin bool) {
+	ds, err := datagen.Retailer(datagen.Config{Scale: 0.001, Seed: 2019})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workloads.CovarMatrix(ds)
+	opts := moo.DefaultOptions()
+	opts.TrackCounts = true
+	opts.SemiJoin = semiJoin
+	eng := moo.NewEngineWithTree(ds.DB, ds.Tree, opts)
+	sess, err := lmfao.NewSessionWithEngine(eng, queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rel := ds.DB.Relation("Location")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := benchDelta(rng, rel, 0.01)
+		if _, err := sess.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyRetailerDimSemiJoin(b *testing.B) { benchApplyDim(b, true) }
+
+func BenchmarkApplyRetailerDimFullScan(b *testing.B) { benchApplyDim(b, false) }
+
 func benchDelta(rng *rand.Rand, rel *data.Relation, frac float64) lmfao.Update {
 	n := int(frac * float64(rel.Len()))
+	if n < 2 {
+		n = 2 // small relations still get a non-empty delta
+	}
 	nIns, nDel := n/2, n-n/2
 	ins := make([]data.Column, len(rel.Cols))
 	del := make([]data.Column, len(rel.Cols))

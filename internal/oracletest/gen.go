@@ -1,8 +1,11 @@
 // Package oracletest is a differential test harness: it generates small
-// randomized databases, query batches and update streams, and asserts that
-// every engine configuration (single- and multi-threaded, compiled and
-// interpreted) agrees with the brute-force baseline, and that incremental
-// maintenance (lmfao.Session.Apply) agrees with full recomputation.
+// randomized databases (stars, chains, snowflakes, and cyclic schemas that
+// decompose into materialized hypertree bags), query batches and update
+// streams, and asserts that every engine configuration (single- and
+// multi-threaded, compiled and interpreted, semi-join-restricted and
+// full-scan maintenance) agrees with the brute-force baseline, and that
+// incremental maintenance (lmfao.Session.Apply) — including dimension-table
+// streams and bag-member updates — agrees with full recomputation.
 //
 // Generated numeric values are small dyadic rationals (k/4) and coefficients
 // are small integers, so every aggregate — a sum of products of such values —
@@ -52,18 +55,22 @@ func seq(n int) []int64 {
 	return out
 }
 
-// GenSchema builds one of three randomized shapes: a star (fact plus
-// dimension tables), a chain (path join), or a snowflake (star with a
-// second-level dimension). Every attribute pool stays small so randomized
-// deltas collide with existing keys often.
+// GenSchema builds one of four randomized shapes: a star (fact plus
+// dimension tables), a chain (path join), a snowflake (star with a
+// second-level dimension), or a cyclic schema (triangle or 4-ring) whose
+// join tree folds relations into a materialized hypertree bag. Every
+// attribute pool stays small so randomized deltas collide with existing keys
+// often.
 func GenSchema(rng *rand.Rand) (*Schema, error) {
-	switch rng.Intn(3) {
+	switch rng.Intn(4) {
 	case 0:
 		return genStar(rng, false)
 	case 1:
 		return genChain(rng)
-	default:
+	case 2:
 		return genStar(rng, true)
+	default:
+		return genCyclic(rng)
 	}
 }
 
@@ -121,6 +128,54 @@ func genStar(rng *rand.Rand, snowflake bool) (*Schema, error) {
 			})); err != nil {
 			return nil, err
 		}
+	}
+	return s, nil
+}
+
+// genCyclic builds a ring of 3 (triangle) or 4 relations over join keys
+// a0..a{n-1}, each with a numeric attribute. Rings are cyclic, so
+// jointree.Build folds overlapping relations into a materialized hypertree
+// bag (two members for the triangle, three for the 4-ring) — the schema
+// shape that exercises bag-member delta maintenance. A dangling dimension
+// off a0 keeps part of the tree outside the bag.
+func genCyclic(rng *rand.Rand) (*Schema, error) {
+	db := data.NewDatabase()
+	s := &Schema{DB: db}
+	ring := 3 + rng.Intn(2)
+	dom := 3 + rng.Intn(2)
+	var keys []data.AttrID
+	for i := 0; i < ring; i++ {
+		k := db.Attr(fmt.Sprintf("a%d", i), data.Key)
+		keys = append(keys, k)
+		s.Discrete = append(s.Discrete, k)
+	}
+	for i := 0; i < ring; i++ {
+		rows := 12 + rng.Intn(16)
+		x := db.Attr(fmt.Sprintf("x%d", i), data.Numeric)
+		s.Numeric = append(s.Numeric, x)
+		if err := db.AddRelation(data.NewRelation(fmt.Sprintf("C%d", i),
+			[]data.AttrID{keys[i], keys[(i+1)%ring], x},
+			[]data.Column{
+				data.NewIntColumn(uniformInts(rng, rows, dom)),
+				data.NewIntColumn(uniformInts(rng, rows, dom)),
+				data.NewFloatColumn(dyadic(rng, rows, 8)),
+			})); err != nil {
+			return nil, err
+		}
+	}
+	// Dangling dimension joined on a0: a tree node outside the bag.
+	tc := db.Attr("tc", data.Categorical)
+	tp := db.Attr("tp", data.Numeric)
+	s.Discrete = append(s.Discrete, tc)
+	s.Numeric = append(s.Numeric, tp)
+	if err := db.AddRelation(data.NewRelation("TDim",
+		[]data.AttrID{keys[0], tc, tp},
+		[]data.Column{
+			data.NewIntColumn(seq(dom)),
+			data.NewIntColumn(uniformInts(rng, dom, 3)),
+			data.NewFloatColumn(dyadic(rng, dom, 8)),
+		})); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -215,12 +270,17 @@ func genFactor(rng *rand.Rand, s *Schema) query.Factor {
 	}
 }
 
-// GenDelta builds a randomized update against one relation of db: up to
-// maxRows inserted tuples (keys drawn from small domains so they hit
+// GenDelta builds a randomized update against one random relation of db: up
+// to maxRows inserted tuples (keys drawn from small domains so they hit
 // existing join partners) and up to maxRows deletions of existing tuples.
 func GenDelta(rng *rand.Rand, db *data.Database, maxRows int) data.Delta {
 	rels := db.Relations()
-	rel := rels[rng.Intn(len(rels))]
+	return GenDeltaOn(rng, rels[rng.Intn(len(rels))], maxRows)
+}
+
+// GenDeltaOn is GenDelta against a specific relation — e.g. a dimension
+// table, to exercise the semi-join-restricted maintenance path.
+func GenDeltaOn(rng *rand.Rand, rel *data.Relation, maxRows int) data.Delta {
 	d := data.Delta{Relation: rel.Name}
 
 	nIns := rng.Intn(maxRows + 1)

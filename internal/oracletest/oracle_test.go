@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	lmfao "repro"
+	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/moo"
 	"repro/internal/query"
@@ -69,7 +70,7 @@ func TestIVMSynthetic(t *testing.T) {
 				t.Fatal(err)
 			}
 			queries := GenQueries(rng, s)
-			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1}
+			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, SemiJoin: seed%2 == 0}
 			if seed%2 == 1 {
 				opts.Threads = 3
 				opts.DomainParallelRows = 4
@@ -114,3 +115,229 @@ func testIVMDataset(t *testing.T, name string) {
 func TestIVMRetailer(t *testing.T) { testIVMDataset(t, "retailer") }
 
 func TestIVMFavorita(t *testing.T) { testIVMDataset(t, "favorita") }
+
+// TestIVMSemiJoinDimensionStream drives dimension-table-only update streams
+// through semi-join-restricted maintenance on star/snowflake schemas,
+// demanding bit-exact agreement with the baseline and the full recompute,
+// and asserting the restriction actually fires.
+func TestIVMSemiJoinDimensionStream(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(200 + seed))
+			s, err := genStar(rng, seed%2 == 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := GenQueries(rng, s)
+			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, SemiJoin: true}
+			sess, err := lmfao.NewSession(s.DB, queries, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var dims []*data.Relation
+			for _, r := range s.DB.Relations() {
+				if r.Name != "F" {
+					dims = append(dims, r)
+				}
+			}
+			semiSeen := false
+			for step := 0; step < 8; step++ {
+				d := GenDeltaOn(rng, dims[rng.Intn(len(dims))], 10)
+				stats, err := sess.Apply(d)
+				if err != nil {
+					t.Fatalf("step %d (%s): %v", step, d.Relation, err)
+				}
+				for _, st := range stats {
+					if !st.Incremental {
+						t.Fatalf("step %d: fell back to full recompute for %s", step, st.Relation)
+					}
+					if st.SemiJoinGroups > 0 {
+						semiSeen = true
+						if st.ScannedRows > st.BaseRows {
+							t.Fatalf("step %d: scanned %d > base %d", step, st.ScannedRows, st.BaseRows)
+						}
+					}
+				}
+				if err := CheckMaintained(sess.Engine(), sess.Result(), queries, Exact); err != nil {
+					t.Fatalf("step %d (%s +%d -%d): %v", step, d.Relation, d.InsertRows(), d.DeleteRows(), err)
+				}
+			}
+			if !semiSeen {
+				t.Error("semi-join restriction never fired across the stream")
+			}
+		})
+	}
+}
+
+// TestIVMSemiJoinOnOffParity maintains the same schema and update stream
+// twice — semi-join restriction on and off — and demands the two sessions
+// end bit-identical (the restriction drops only non-contributing rows, so
+// even float accumulation order is preserved).
+func TestIVMSemiJoinOnOffParity(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			build := func(semi bool) (*lmfao.Session, []*query.Query, *rand.Rand) {
+				rng := rand.New(rand.NewSource(400 + seed))
+				s, err := GenSchema(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				queries := GenQueries(rng, s)
+				opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, SemiJoin: semi}
+				sess, err := lmfao.NewSession(s.DB, queries, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sess.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return sess, queries, rng
+			}
+			on, queries, rngOn := build(true)
+			off, _, rngOff := build(false)
+			for step := 0; step < 5; step++ {
+				dOn := GenDelta(rngOn, on.Engine().DB(), 10)
+				dOff := GenDelta(rngOff, off.Engine().DB(), 10)
+				if dOn.Relation != dOff.Relation {
+					t.Fatalf("step %d: streams diverged (%s vs %s)", step, dOn.Relation, dOff.Relation)
+				}
+				if _, err := on.Apply(dOn); err != nil {
+					t.Fatalf("step %d on: %v", step, err)
+				}
+				if _, err := off.Apply(dOff); err != nil {
+					t.Fatalf("step %d off: %v", step, err)
+				}
+			}
+			for qi := range queries {
+				got := viewRows(on.Result().Results[qi], -1)
+				want := viewRows(off.Result().Results[qi], -1)
+				if err := diffRows(fmt.Sprintf("query %d", qi), got, want, Exact); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := CheckMaintained(on.Engine(), on.Result(), queries, Exact); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIVMBagPreRunMutation mutates a bag member through a session BEFORE its
+// first Run: the materialized bag (built at session creation) must be synced
+// even though there is no cached result to maintain, or the deferred first
+// Run silently serves the stale bag.
+func TestIVMBagPreRunMutation(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(500 + seed))
+			s, err := genCyclic(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := GenQueries(rng, s)
+			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, SemiJoin: true}
+			sess, err := lmfao.NewSession(s.DB, queries, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var member *data.Relation
+			for _, n := range sess.Engine().Tree().Nodes {
+				if n.IsBag() {
+					member = s.DB.Relation(n.Members[0])
+					break
+				}
+			}
+			if member == nil {
+				t.Fatal("cyclic schema produced no bag")
+			}
+			d := GenDeltaOn(rng, member, 6)
+			for d.Empty() {
+				d = GenDeltaOn(rng, member, 6)
+			}
+			// No Run yet: Apply mutates the base, syncs the bag, and runs the
+			// deferred first compute.
+			if _, err := sess.Apply(d); err != nil {
+				t.Fatalf("pre-Run apply (%s +%d -%d): %v", d.Relation, d.InsertRows(), d.DeleteRows(), err)
+			}
+			if err := CheckMaintained(sess.Engine(), sess.Result(), queries, Exact); err != nil {
+				t.Fatalf("after pre-Run apply (%s +%d -%d): %v", d.Relation, d.InsertRows(), d.DeleteRows(), err)
+			}
+		})
+	}
+}
+
+// TestIVMBagUpdateStream drives update streams through cyclic schemas whose
+// join trees fold relations into materialized hypertree bags: bag-member
+// updates must be maintained incrementally (no full-recompute fallback),
+// reported via ApplyStats.Bag, and stay bit-exact against the baseline and a
+// fresh recompute (which also proves the bag relation is kept in sync).
+func TestIVMBagUpdateStream(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(300 + seed))
+			s, err := genCyclic(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := GenQueries(rng, s)
+			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 1, SemiJoin: seed%2 == 0}
+			if seed%3 == 2 {
+				opts.Threads = 3
+				opts.DomainParallelRows = 4
+			}
+			sess, err := lmfao.NewSession(s.DB, queries, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Run(); err != nil {
+				t.Fatal(err)
+			}
+			tree := sess.Engine().Tree()
+			var bagMembers []*data.Relation
+			for _, n := range tree.Nodes {
+				if n.IsBag() {
+					for _, m := range n.Members {
+						bagMembers = append(bagMembers, s.DB.Relation(m))
+					}
+				}
+			}
+			if len(bagMembers) < 2 {
+				t.Fatalf("cyclic schema produced no bag; tree:\n%s", tree)
+			}
+			bagSeen := false
+			for step := 0; step < 6; step++ {
+				var d data.Delta
+				if step%2 == 0 {
+					d = GenDeltaOn(rng, bagMembers[rng.Intn(len(bagMembers))], 8)
+				} else {
+					d = GenDelta(rng, s.DB, 8)
+				}
+				stats, err := sess.Apply(d)
+				if err != nil {
+					t.Fatalf("step %d (%s +%d -%d): %v", step, d.Relation, d.InsertRows(), d.DeleteRows(), err)
+				}
+				folded := tree.NodeByRelation(d.Relation) == nil
+				for _, st := range stats {
+					if !st.Incremental {
+						t.Fatalf("step %d: bag-member update for %s fell back to full recompute", step, st.Relation)
+					}
+					if folded && st.Bag == "" {
+						t.Fatalf("step %d: folded member %s maintained without Bag stat", step, d.Relation)
+					}
+					if st.Bag != "" {
+						bagSeen = true
+					}
+				}
+				if err := CheckMaintained(sess.Engine(), sess.Result(), queries, Exact); err != nil {
+					t.Fatalf("step %d (%s +%d -%d): %v", step, d.Relation, d.InsertRows(), d.DeleteRows(), err)
+				}
+			}
+			if !bagSeen {
+				t.Error("no bag-member update exercised")
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# check_package_comments.sh — the CI docs gate for godoc coverage: fails
+# when any package (including commands) lacks a package comment, i.e. no
+# non-test file has a comment block ending on the line directly above its
+# `package` clause.
+set -eu
+missing=0
+for d in $(go list -f '{{.Dir}}' ./...); do
+	found=""
+	for f in "$d"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		[ -f "$f" ] || continue
+		if awk 'BEGIN{c=0; b=0}
+			b==1 { if (/\*\//) { b=0; c=1 }; next }
+			/^\/\*/ { if (/\*\//) { c=1 } else { b=1 }; next }
+			/^\/\//{c=1; next}
+			/^package /{exit (c?0:1)}
+			{c=0}' "$f"; then
+			found="$f"
+			break
+		fi
+	done
+	if [ -z "$found" ]; then
+		echo "missing package comment: ${d#"$(pwd)"/}"
+		missing=1
+	fi
+done
+if [ "$missing" -ne 0 ]; then
+	echo "add a godoc package comment to each package listed above"
+fi
+exit "$missing"

@@ -23,7 +23,13 @@ type ApplyStats struct {
 // updates: Run computes it once, Apply mutates the base relations and
 // incrementally maintains every view — re-evaluating only the dirty subset
 // of the DAG, with deletes handled as negative-weight inserts — instead of
-// recomputing from scratch.
+// recomputing from scratch. With Options.SemiJoin (on in DefaultOptions),
+// maintenance scans at unchanged join-tree nodes touch only the base rows
+// that join the delta's keys, via lazily built join-key indexes.
+//
+// Updates against a relation folded into a materialized hypertree bag are
+// maintained incrementally too: the delta is joined with the bag's other
+// members and applied at the bag node (ApplyStats.Bag names the bag).
 //
 // Output views carry a trailing hidden tuple-count column (name
 // core.CountColName); aggregate columns keep their query order, so
@@ -32,8 +38,7 @@ type ApplyStats struct {
 // Limitations: aggregates must live in the sum-product semiring (every
 // Aggregate built from this package's constructors does; MIN/MAX-style
 // aggregates, which are not expressible here, would not survive deletes).
-// Updates against relations folded into a materialized hypertree bag fall
-// back to a full recompute. Sessions are not safe for concurrent use.
+// Sessions are not safe for concurrent use.
 type Session struct {
 	eng     *Engine
 	queries []*Query
@@ -91,7 +96,13 @@ func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 			return out, err
 		}
 		if s.res == nil {
-			continue // first Run below sees the mutated base
+			// The first Run below sees the mutated base — but a relation
+			// folded into a materialized hypertree bag must still sync the
+			// bag, which only tracks its members through maintenance.
+			if err := s.eng.SyncBagMember(u); err != nil {
+				return out, err
+			}
+			continue
 		}
 		res, st, err := s.eng.Apply(s.res, u)
 		switch {
