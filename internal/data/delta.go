@@ -59,28 +59,64 @@ type DeltaEntry struct {
 
 // Version returns the relation's mutation counter: 0 for a freshly built
 // relation, incremented by every Append/DeleteRows. Caches keyed by relation
-// content (sorted copies, statistics) must include the version.
-func (r *Relation) Version() int64 { return r.version }
+// content (sorted copies, statistics) must include the version. Safe to call
+// concurrently with the single writer's mutations.
+func (r *Relation) Version() int64 {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	return r.version
+}
 
-// maxDeltaLogEntries bounds the per-relation delta log: a long-lived
-// relation under steady updates must not grow memory without bound. The
-// oldest entries are dropped first; DeltaLogTruncatedThrough records the
-// eviction high-water mark so consumers can detect the gap.
-const maxDeltaLogEntries = 1024
+// DefaultDeltaLogCap is the per-relation delta-log retention bound used when
+// none is configured (see SetDeltaLogCap): a long-lived relation under steady
+// updates must not grow memory without bound. The oldest entries are dropped
+// first; DeltaLogTruncatedThrough records the eviction high-water mark so
+// consumers can detect the gap.
+const DefaultDeltaLogCap = 1024
+
+// SetDeltaLogCap bounds the relation's retained delta-log entries to n
+// (clamped to at least 1). It overrides both DefaultDeltaLogCap and any
+// database-wide default (Database.SetDeltaLogCap). Shrinking the cap takes
+// effect on the next logged delta, not retroactively.
+func (r *Relation) SetDeltaLogCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.logMu.Lock()
+	r.logCap = n
+	r.logMu.Unlock()
+}
+
+// DeltaLogCap returns the effective delta-log retention cap.
+func (r *Relation) DeltaLogCap() int {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	return r.effectiveLogCap()
+}
+
+func (r *Relation) effectiveLogCap() int {
+	if r.logCap > 0 {
+		return r.logCap
+	}
+	return DefaultDeltaLogCap
+}
 
 // DeltaLog returns the applied delta entries with Seq > since, oldest first.
-// Pass since = 0 for the full retained log.
+// Pass since = 0 for the full retained log. Safe to call concurrently with
+// the single writer's mutations; entry tuple blocks are immutable snapshots.
 //
-// The log keeps at most maxDeltaLogEntries recent entries (older ones are
-// also reclaimed by TruncateDeltaLog), so the result can silently omit
-// evicted changes: after truncation, DeltaLog(since) returns only the
-// retained suffix, NOT an error or a sentinel. A consumer resuming from
-// `since` must treat the result as complete only when
+// The log keeps at most DeltaLogCap recent entries (older ones are also
+// reclaimed by TruncateDeltaLog), so the result can silently omit evicted
+// changes: after truncation, DeltaLog(since) returns only the retained
+// suffix, NOT an error or a sentinel. A consumer resuming from `since` must
+// treat the result as complete only when
 // since >= DeltaLogTruncatedThrough(); otherwise entries in
 // (since, truncatedThrough] were evicted and the consumer's view of the
 // relation can no longer be caught up from the log alone — it must fall
 // back to a full re-read (e.g. a Session recompute).
 func (r *Relation) DeltaLog(since int64) []DeltaEntry {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
 	var out []DeltaEntry
 	for _, e := range r.log {
 		if e.Seq > since {
@@ -93,13 +129,20 @@ func (r *Relation) DeltaLog(since int64) []DeltaEntry {
 // DeltaLogTruncatedThrough returns the highest Seq ever evicted from the
 // delta log (0 when nothing has been evicted). DeltaLog(since) is a
 // complete record of the relation's changes after `since` if and only if
-// since >= DeltaLogTruncatedThrough().
-func (r *Relation) DeltaLogTruncatedThrough() int64 { return r.logDropped }
+// since >= DeltaLogTruncatedThrough(). Safe to call concurrently with the
+// single writer's mutations.
+func (r *Relation) DeltaLogTruncatedThrough() int64 {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	return r.logDropped
+}
 
 // TruncateDeltaLog drops log entries with Seq <= upTo, reclaiming their
 // tuple snapshots. Pass the last Seq a consumer has durably processed. The
 // dropped range is recorded in DeltaLogTruncatedThrough.
 func (r *Relation) TruncateDeltaLog(upTo int64) {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
 	keep := r.log[:0]
 	for _, e := range r.log {
 		if e.Seq > upTo {
@@ -114,31 +157,42 @@ func (r *Relation) TruncateDeltaLog(upTo int64) {
 	r.log = keep
 }
 
-// logDelta appends an entry, enforcing the retention cap.
-func (r *Relation) logDelta(e DeltaEntry) {
+// logDeltaLocked appends an entry, enforcing the retention cap. Caller holds
+// logMu. A cap shrunk below the current length (SetDeltaLogCap) evicts the
+// whole overhang here, so `over` may exceed 1.
+func (r *Relation) logDeltaLocked(e DeltaEntry) {
 	r.log = append(r.log, e)
-	if len(r.log) > maxDeltaLogEntries {
-		over := len(r.log) - maxDeltaLogEntries
+	max := r.effectiveLogCap()
+	if len(r.log) > max {
+		over := len(r.log) - max
 		if dropped := r.log[over-1].Seq; dropped > r.logDropped {
 			r.logDropped = dropped
 		}
 		copy(r.log, r.log[over:])
-		for i := maxDeltaLogEntries; i < len(r.log); i++ {
+		for i := max; i < len(r.log); i++ {
 			r.log[i] = DeltaEntry{}
 		}
-		r.log = r.log[:maxDeltaLogEntries]
+		r.log = r.log[:max]
 	}
 }
 
-// mutated invalidates row-content-derived caches after an in-place change:
-// the sort order no longer holds, distinct counts may have shifted, and the
-// version bump lets external caches (engine sort cache) notice.
-func (r *Relation) mutated() {
+// mutated invalidates row-content-derived caches after an in-place change
+// (the sort order no longer holds, distinct counts may have shifted) and
+// commits the version bump plus log entry in one critical section, so a
+// concurrent log reader never observes a version whose entry is missing.
+// makeEntry builds the entry for the already-bumped version (nil for
+// unlogged mutations).
+func (r *Relation) mutated(makeEntry func(seq int64) DeltaEntry) {
 	r.sortOrder = nil
 	r.distinctMu.Lock()
 	r.distinct = nil
 	r.distinctMu.Unlock()
+	r.logMu.Lock()
 	r.version++
+	if makeEntry != nil {
+		r.logDeltaLocked(makeEntry(r.version))
+	}
+	r.logMu.Unlock()
 }
 
 // checkBlock validates a column block against the relation's schema: one
@@ -182,8 +236,8 @@ func (r *Relation) Append(cols []Column) error {
 		}
 	}
 	r.n += n
-	r.mutated()
-	r.logDelta(DeltaEntry{Seq: r.version, Inserts: copyBlock(cols)})
+	ins := copyBlock(cols)
+	r.mutated(func(seq int64) DeltaEntry { return DeltaEntry{Seq: seq, Inserts: ins} })
 	return nil
 }
 
@@ -230,8 +284,8 @@ func (r *Relation) DeleteRows(cols []Column) error {
 		r.Cols[i] = r.Cols[i].gather(keep)
 	}
 	r.n = len(keep)
-	r.mutated()
-	r.logDelta(DeltaEntry{Seq: r.version, Deletes: copyBlock(cols)})
+	del := copyBlock(cols)
+	r.mutated(func(seq int64) DeltaEntry { return DeltaEntry{Seq: seq, Deletes: del} })
 	return nil
 }
 

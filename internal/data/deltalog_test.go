@@ -64,19 +64,22 @@ func TestDeltaLogGapDetection(t *testing.T) {
 	}
 }
 
-// TestDeltaLogRetentionCap verifies the cap evicts oldest-first and records
-// the eviction in DeltaLogTruncatedThrough.
+// TestDeltaLogRetentionCap verifies the default cap evicts oldest-first and
+// records the eviction in DeltaLogTruncatedThrough.
 func TestDeltaLogRetentionCap(t *testing.T) {
 	rel := deltaLogFixture(t)
-	total := maxDeltaLogEntries + 7
+	if got := rel.DeltaLogCap(); got != DefaultDeltaLogCap {
+		t.Fatalf("unconfigured cap = %d, want DefaultDeltaLogCap %d", got, DefaultDeltaLogCap)
+	}
+	total := DefaultDeltaLogCap + 7
 	for i := 0; i < total; i++ {
 		appendOne(t, rel, int64(i))
 	}
 	log := rel.DeltaLog(0)
-	if len(log) != maxDeltaLogEntries {
-		t.Fatalf("retained %d entries, want %d", len(log), maxDeltaLogEntries)
+	if len(log) != DefaultDeltaLogCap {
+		t.Fatalf("retained %d entries, want %d", len(log), DefaultDeltaLogCap)
 	}
-	wantFirst := int64(total - maxDeltaLogEntries + 1)
+	wantFirst := int64(total - DefaultDeltaLogCap + 1)
 	if log[0].Seq != wantFirst {
 		t.Fatalf("oldest retained Seq = %d, want %d", log[0].Seq, wantFirst)
 	}
@@ -86,12 +89,93 @@ func TestDeltaLogRetentionCap(t *testing.T) {
 	// Seqs are consecutive: DeltaLog(truncatedThrough) is exactly the
 	// retained suffix with no gap.
 	resumed := rel.DeltaLog(rel.DeltaLogTruncatedThrough())
-	if len(resumed) != maxDeltaLogEntries || resumed[0].Seq != wantFirst {
+	if len(resumed) != DefaultDeltaLogCap || resumed[0].Seq != wantFirst {
 		t.Fatalf("resume at high-water mark: %d entries, first %d", len(resumed), resumed[0].Seq)
 	}
 	for i := 1; i < len(resumed); i++ {
 		if resumed[i].Seq != resumed[i-1].Seq+1 {
 			t.Fatalf("non-consecutive Seq at %d: %d after %d", i, resumed[i].Seq, resumed[i-1].Seq)
 		}
+	}
+}
+
+// TestDeltaLogConfiguredCap pins the gap-detection contract across a
+// configured (small) cap boundary: before the cap is hit the log is
+// complete from 0; the first eviction moves DeltaLogTruncatedThrough in
+// lockstep with the oldest retained entry.
+func TestDeltaLogConfiguredCap(t *testing.T) {
+	rel := deltaLogFixture(t)
+	rel.SetDeltaLogCap(4)
+	if got := rel.DeltaLogCap(); got != 4 {
+		t.Fatalf("cap = %d, want 4", got)
+	}
+
+	// Below the cap: complete, nothing evicted.
+	for i := int64(1); i <= 4; i++ {
+		appendOne(t, rel, i)
+		if got := rel.DeltaLogTruncatedThrough(); got != 0 {
+			t.Fatalf("after %d entries (cap 4): truncatedThrough = %d, want 0", i, got)
+		}
+		if got := len(rel.DeltaLog(0)); got != int(i) {
+			t.Fatalf("after %d entries: %d retained, want %d", i, got, i)
+		}
+	}
+
+	// Crossing the boundary: each append evicts exactly the oldest entry
+	// and advances the high-water mark by one.
+	for i := int64(5); i <= 9; i++ {
+		appendOne(t, rel, i)
+		log := rel.DeltaLog(0)
+		if len(log) != 4 {
+			t.Fatalf("after %d entries: %d retained, want 4", i, len(log))
+		}
+		if want := i - 4; rel.DeltaLogTruncatedThrough() != want {
+			t.Fatalf("after %d entries: truncatedThrough = %d, want %d",
+				i, rel.DeltaLogTruncatedThrough(), want)
+		}
+		if log[0].Seq != rel.DeltaLogTruncatedThrough()+1 {
+			t.Fatalf("gap between truncatedThrough %d and oldest retained %d",
+				rel.DeltaLogTruncatedThrough(), log[0].Seq)
+		}
+		// Resume exactly at the high-water mark: complete suffix.
+		if got := len(rel.DeltaLog(rel.DeltaLogTruncatedThrough())); got != 4 {
+			t.Fatalf("resume at mark after %d entries: %d, want 4", i, got)
+		}
+	}
+
+	// Shrinking the cap takes effect on the next logged delta.
+	rel.SetDeltaLogCap(2)
+	appendOne(t, rel, 10)
+	if got := len(rel.DeltaLog(0)); got != 2 {
+		t.Fatalf("after shrink to 2: %d retained, want 2", got)
+	}
+	if got := rel.DeltaLogTruncatedThrough(); got != 8 {
+		t.Fatalf("after shrink to 2: truncatedThrough = %d, want 8", got)
+	}
+}
+
+// TestDatabaseDeltaLogCapDefault verifies the database-wide default reaches
+// existing and future relations, and per-relation overrides win.
+func TestDatabaseDeltaLogCapDefault(t *testing.T) {
+	db := NewDatabase()
+	k := db.Attr("k", Key)
+	before := NewRelation("before", []AttrID{k}, []Column{NewIntColumn(nil)})
+	if err := db.AddRelation(before); err != nil {
+		t.Fatal(err)
+	}
+	db.SetDeltaLogCap(3)
+	after := NewRelation("after", []AttrID{k}, []Column{NewIntColumn(nil)})
+	if err := db.AddRelation(after); err != nil {
+		t.Fatal(err)
+	}
+	if got := before.DeltaLogCap(); got != 3 {
+		t.Fatalf("existing relation cap = %d, want 3", got)
+	}
+	if got := after.DeltaLogCap(); got != 3 {
+		t.Fatalf("new relation cap = %d, want 3", got)
+	}
+	after.SetDeltaLogCap(7)
+	if got := after.DeltaLogCap(); got != 7 {
+		t.Fatalf("per-relation override = %d, want 7", got)
 	}
 }

@@ -2,6 +2,8 @@ package data
 
 import (
 	"bytes"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -52,6 +54,98 @@ func FuzzLoadTSV(f *testing.F) {
 				if a.Float(r) != b.Float(r) && !(a.Float(r) != a.Float(r) && b.Float(r) != b.Float(r)) {
 					t.Fatalf("reload changed row %d col %d: %v vs %v", r, i, a.Float(r), b.Float(r))
 				}
+			}
+		}
+	})
+}
+
+// FuzzTSVDict fuzzes the categorical dictionary path of the TSV loader: a
+// one-column Categorical load where every non-integer value is dictionary-
+// encoded. For accepted inputs the dictionary must round-trip every value
+// (Code/Lookup/Value inverses, dense codes in first-seen order), integers
+// must pass through verbatim, and a reload must assign identical codes.
+func FuzzTSVDict(f *testing.F) {
+	f.Add([]byte("red\ngreen\nred\nblue"))
+	f.Add([]byte("7\n007\n-3\nseven\n7"))
+	f.Add([]byte("a\n\nb\r\nc\r"))
+	f.Add([]byte("só\n☃\n\x00weird\n "))
+	f.Add([]byte(""))
+	f.Add([]byte("has\ttab"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		specs := []ColumnSpec{{Name: "c", Kind: Categorical}}
+		db := NewDatabase()
+		rel, err := LoadTSV(db, "t", strings.NewReader("c\n"+string(raw)), specs)
+		if err != nil {
+			return
+		}
+		attr, ok := db.AttrByName("c")
+		if !ok {
+			t.Fatal("attribute not registered")
+		}
+		dict := db.Dict(attr)
+		if dict == nil {
+			t.Fatal("categorical attribute has no dictionary")
+		}
+
+		// Mirror the loader's line handling: newline-separated, trailing
+		// \r stripped, blank lines skipped. Lines containing tabs split
+		// into 2 fields and were rejected, so err == nil rules them out.
+		var fields []string
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSuffix(line, "\r")
+			if line == "" {
+				continue
+			}
+			fields = append(fields, line)
+		}
+		if rel.Len() != len(fields) {
+			t.Fatalf("loaded %d rows, want %d", rel.Len(), len(fields))
+		}
+
+		col := rel.Cols[0]
+		distinct := make(map[string]bool)
+		for i, v := range fields {
+			code := col.Ints[i]
+			if iv, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+				// Integer passthrough: never dictionary-encoded.
+				if code != iv {
+					t.Fatalf("row %d: integer %q stored as %d", i, v, code)
+				}
+				continue
+			}
+			distinct[v] = true
+			got, ok := dict.Lookup(v)
+			if !ok {
+				t.Fatalf("row %d: value %q missing from dictionary", i, v)
+			}
+			if got != code {
+				t.Fatalf("row %d: column code %d, dictionary code %d for %q", i, code, got, v)
+			}
+			if back := dict.Value(code); back != v {
+				t.Fatalf("row %d: code %d decodes to %q, want %q", i, code, back, v)
+			}
+		}
+		if dict.Len() != len(distinct) {
+			t.Fatalf("dictionary has %d entries, want %d distinct non-integer values", dict.Len(), len(distinct))
+		}
+		// Codes are dense and invertible.
+		for c := int64(0); c < int64(dict.Len()); c++ {
+			v := dict.Value(c)
+			rc, ok := dict.Lookup(v)
+			if !ok || rc != c {
+				t.Fatalf("code %d (%q) not invertible: lookup %d %v", c, v, rc, ok)
+			}
+		}
+		// First-seen order is deterministic: a reload assigns identical
+		// codes row for row.
+		db2 := NewDatabase()
+		rel2, err := LoadTSV(db2, "t", strings.NewReader("c\n"+string(raw)), specs)
+		if err != nil {
+			t.Fatalf("reload of accepted input failed: %v", err)
+		}
+		for i := 0; i < rel.Len(); i++ {
+			if rel2.Cols[0].Ints[i] != col.Ints[i] {
+				t.Fatalf("reload changed row %d code: %d vs %d", i, rel2.Cols[0].Ints[i], col.Ints[i])
 			}
 		}
 	})

@@ -25,13 +25,23 @@ type Relation struct {
 	distinctMu sync.Mutex
 	distinct   map[AttrID]int
 
+	// logMu guards version, log, logDropped and logCap: the snapshot
+	// publication protocol (lmfao.Session) reads versions and delta-log
+	// suffixes concurrently with the single writer's mutations, so the
+	// version bump and log append commit under one critical section.
+	// Column data itself stays single-writer: mutating rows must not race
+	// with row reads.
+	logMu sync.Mutex
 	// version counts in-place mutations (see Version); log records the
-	// applied deltas (see DeltaLog). Mutations must not race with reads.
+	// applied deltas (see DeltaLog).
 	version int64
 	log     []DeltaEntry
 	// logDropped is the highest Seq ever evicted from the log, by the
 	// retention cap or TruncateDeltaLog (see DeltaLogTruncatedThrough).
 	logDropped int64
+	// logCap bounds the retained log entries; 0 means DefaultDeltaLogCap
+	// (see SetDeltaLogCap).
+	logCap int
 
 	// keyIdx caches join-key indexes per attribute list (see KeyIndex);
 	// keyIdxMu guards it because maintenance passes may overlap with

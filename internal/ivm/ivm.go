@@ -32,10 +32,71 @@ package ivm
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
 )
+
+// VersionVector maps base-relation names to the data.Relation.Version a
+// maintained state reflects: two states with equal vectors were computed
+// over identical base data. Snapshot publication (lmfao.Session) pins each
+// published result to the vector its maintenance round committed, so a
+// differential checker can replay an update stream to exactly that point.
+type VersionVector map[string]int64
+
+// CaptureVersions snapshots the versions of every relation registered in db
+// (materialized hypertree bags live in the join tree, not the database, so
+// the vector covers exactly the user-mutable base relations).
+func CaptureVersions(db *data.Database) VersionVector {
+	vv := make(VersionVector, len(db.Relations()))
+	for _, r := range db.Relations() {
+		vv[r.Name] = r.Version()
+	}
+	return vv
+}
+
+// Clone returns an independent copy.
+func (vv VersionVector) Clone() VersionVector {
+	out := make(VersionVector, len(vv))
+	for k, v := range vv {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether both vectors pin the same versions for the same
+// relation set.
+func (vv VersionVector) Equal(other VersionVector) bool {
+	if len(vv) != len(other) {
+		return false
+	}
+	for k, v := range vv {
+		if ov, ok := other[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector deterministically (sorted by relation name).
+func (vv VersionVector) String() string {
+	names := make([]string, 0, len(vv))
+	for k := range vv {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, vv[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // Step is one maintenance action: re-run a (subset of a) plan group to
 // produce the deltas of its dirty views.
@@ -81,6 +142,11 @@ type Schedule struct {
 	Steps []Step
 	// DirtyViews lists all dirty view IDs, ascending.
 	DirtyViews []int
+	// Commits is the base-relation version vector this maintenance round
+	// commits: Analyze runs after the delta has been applied to the base
+	// (Engine.Apply's contract), so the captured versions are exactly the
+	// state the maintained views will reflect once the schedule executes.
+	Commits VersionVector
 }
 
 // Analyze computes the maintenance schedule for a delta against the base
@@ -97,7 +163,7 @@ func Analyze(p *core.Plan, changed int) (*Schedule, error) {
 		return nil, fmt.Errorf("ivm: plan has no consumer-key metadata")
 	}
 	dirty := make([]bool, len(p.Views))
-	s := &Schedule{Changed: changed}
+	s := &Schedule{Changed: changed, Commits: CaptureVersions(p.Tree.DB)}
 	for _, v := range p.Views {
 		if p.FeedsView(v.ID, changed) {
 			dirty[v.ID] = true

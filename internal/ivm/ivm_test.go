@@ -251,3 +251,59 @@ func TestAnalyzeBadNode(t *testing.T) {
 		t.Fatal("Analyze(out of range) succeeded")
 	}
 }
+
+// TestVersionVector pins the commit-metadata API: capture reflects current
+// relation versions, Analyze stamps the post-delta vector onto the
+// schedule, and Clone/Equal/String behave.
+func TestVersionVector(t *testing.T) {
+	plan := chainPlan(t)
+	db := plan.Tree.DB
+
+	before := CaptureVersions(db)
+	if len(before) != len(db.Relations()) {
+		t.Fatalf("captured %d entries, want %d", len(before), len(db.Relations()))
+	}
+	for _, r := range db.Relations() {
+		if before[r.Name] != r.Version() {
+			t.Fatalf("capture of %s = %d, want %d", r.Name, before[r.Name], r.Version())
+		}
+	}
+
+	cp := before.Clone()
+	if !cp.Equal(before) || !before.Equal(cp) {
+		t.Fatal("clone not equal to original")
+	}
+
+	// Mutate one relation; the schedule must commit the moved vector.
+	r0 := db.Relation("R0")
+	if err := r0.Append([]data.Column{
+		data.NewIntColumn([]int64{0}), data.NewIntColumn([]int64{0}),
+		data.NewFloatColumn([]float64{1}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Equal(CaptureVersions(db)) {
+		t.Fatal("vector unchanged after a mutation")
+	}
+	sched, err := Analyze(plan, plan.Tree.NodeByRelation("R0").ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Commits == nil {
+		t.Fatal("schedule carries no commit vector")
+	}
+	if got, want := sched.Commits["R0"], before["R0"]+1; got != want {
+		t.Fatalf("committed R0 version %d, want %d", got, want)
+	}
+	if !sched.Commits.Equal(CaptureVersions(db)) {
+		t.Fatalf("schedule commits %v, database at %v", sched.Commits, CaptureVersions(db))
+	}
+	// Clone is independent: the pre-mutation copy still holds old values.
+	if got := cp["R0"]; got != before["R0"] {
+		t.Fatalf("clone mutated: R0 = %d, want %d", got, before["R0"])
+	}
+
+	if s := sched.Commits.String(); s == "" || s[0] != '{' {
+		t.Fatalf("String() = %q, want deterministic {name:ver ...} form", s)
+	}
+}

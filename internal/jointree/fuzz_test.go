@@ -1,0 +1,143 @@
+package jointree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// FuzzJoinTreeBuild drives GYO decomposition and bag merging with random
+// hypergraphs: up to 6 relations whose schemas are bitmasks over up to 8
+// attributes. Build must never panic; when it succeeds, the tree must hold
+// the running-intersection property, route every base relation to exactly
+// one node through the member metadata (the bag-delta maintenance path
+// depends on it), and fold bags exactly when the input hypergraph is
+// cyclic.
+func FuzzJoinTreeBuild(f *testing.F) {
+	f.Add(byte(3), []byte{0b111})                          // single relation
+	f.Add(byte(4), []byte{0b0011, 0b0110, 0b1100})         // chain
+	f.Add(byte(4), []byte{0b1111, 0b0001, 0b0010})         // star with contained dims
+	f.Add(byte(3), []byte{0b011, 0b110, 0b101})            // triangle (cyclic)
+	f.Add(byte(4), []byte{0b0011, 0b0110, 0b1100, 0b1001}) // 4-ring (cyclic)
+	f.Add(byte(2), []byte{0b00, 0b11})                     // empty-schema relation
+	f.Add(byte(5), []byte{0b00011, 0b00011})               // duplicate schemas
+	f.Fuzz(func(t *testing.T, nAttrs byte, masks []byte) {
+		na := int(nAttrs)%8 + 1
+		if len(masks) == 0 {
+			return
+		}
+		if len(masks) > 6 {
+			masks = masks[:6]
+		}
+		db := data.NewDatabase()
+		attrs := make([]data.AttrID, na)
+		for i := range attrs {
+			attrs[i] = db.Attr(fmt.Sprintf("a%d", i), data.Key)
+		}
+		var names []string
+		var edges [][]data.AttrID
+		for ri, m := range masks {
+			var schema []data.AttrID
+			for b := 0; b < na; b++ {
+				if m&(1<<b) != 0 {
+					schema = append(schema, attrs[b])
+				}
+			}
+			// A few rows over a tiny domain so bag materialization (the
+			// natural join of cyclic members) has real tuples to merge.
+			const rows = 3
+			cols := make([]data.Column, len(schema))
+			for ci := range cols {
+				vals := make([]int64, rows)
+				for r := range vals {
+					vals[r] = int64((ri + ci + r) % 3)
+				}
+				cols[ci] = data.NewIntColumn(vals)
+			}
+			name := fmt.Sprintf("R%d", ri)
+			if err := db.AddRelation(data.NewRelation(name, schema, cols)); err != nil {
+				t.Fatalf("adding %s: %v", name, err)
+			}
+			names = append(names, name)
+			edges = append(edges, schema)
+		}
+		acyclic := Acyclic(edges)
+
+		tree, err := Build(db)
+		if err != nil {
+			// Legitimate rejections: undecomposable cyclic schemas (no
+			// overlapping pair to merge), bag size cap. They must not
+			// happen on acyclic inputs.
+			if acyclic {
+				t.Fatalf("Build rejected an acyclic schema: %v", err)
+			}
+			return
+		}
+		if err := tree.VerifyRunningIntersection(); err != nil {
+			t.Fatalf("running intersection violated: %v", err)
+		}
+
+		// Member metadata partitions the base relations: every relation
+		// lives in exactly one node's member set, and NodeByMember routes
+		// to it.
+		memberCount := make(map[string]int)
+		for _, n := range tree.Nodes {
+			for _, m := range n.Members {
+				memberCount[m]++
+			}
+		}
+		for _, name := range names {
+			if memberCount[name] != 1 {
+				t.Fatalf("relation %s appears in %d member sets, want 1", name, memberCount[name])
+			}
+			node := tree.NodeByMember(name)
+			if node == nil {
+				t.Fatalf("NodeByMember(%s) = nil", name)
+			}
+			routed := false
+			for _, m := range node.Members {
+				if m == name {
+					routed = true
+					break
+				}
+			}
+			if !routed {
+				t.Fatalf("NodeByMember(%s) routed to node %q which does not list it", name, node.Rel.Name)
+			}
+		}
+		if extra := len(memberCount) - len(names); extra != 0 {
+			t.Fatalf("member sets name %d unknown relations", extra)
+		}
+
+		// Bags appear exactly when the hypergraph was cyclic.
+		bags := 0
+		for _, n := range tree.Nodes {
+			if n.IsBag() {
+				bags++
+			}
+		}
+		if acyclic && bags > 0 {
+			t.Fatalf("acyclic schema produced %d bags", bags)
+		}
+		if !acyclic && bags == 0 {
+			t.Fatal("cyclic schema decomposed without a bag")
+		}
+
+		// No attribute is lost: every input attribute appears in some node
+		// schema (views grouped on it must have a home).
+		present := make(map[data.AttrID]bool)
+		for _, n := range tree.Nodes {
+			for _, a := range n.Attrs {
+				present[a] = true
+			}
+		}
+		for _, e := range edges {
+			for _, a := range e {
+				if !present[a] {
+					t.Fatalf("attribute %d vanished from the tree", a)
+				}
+			}
+		}
+	})
+}

@@ -198,6 +198,7 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 		Plan:         plan,
 		Results:      make([]*ViewData, len(plan.Queries)),
 		Materialized: mat,
+		Versions:     sched.Commits,
 	}
 	for qi, vid := range plan.OutputView {
 		res.Results[qi] = mat[vid]
@@ -360,6 +361,11 @@ func (e *Engine) foldBagDelta(bag *jointree.Node, d data.Delta) (data.Delta, err
 			return data.Delta{}, err
 		}
 	}
+	// The bag relation lives only in the join tree — no consumer ever reads
+	// its delta log — so reclaim the expanded tuple snapshots the mutations
+	// above just logged instead of pinning up to a full retention cap of
+	// join blocks per bag.
+	bag.Rel.TruncateDeltaLog(bag.Rel.Version())
 	return expanded, nil
 }
 
@@ -659,8 +665,10 @@ func mergeFast(old, delta *ViewData, countCol int) *ViewData {
 		skeyPos:  old.skeyPos,
 		extraPos: old.extraPos,
 		index:    old.index,
-		fullIdx:  old.fullIdx,
 	}
+	// The row set is unchanged, so the cached full-key index (an immutable
+	// map once built) carries over to the successor view.
+	out.fullIdx.Store(old.fullIdx.Load())
 	for i, r := range rows {
 		dst := out.Vals[int(r)*out.Stride : (int(r)+1)*out.Stride]
 		src := delta.Vals[i*delta.Stride : (i+1)*delta.Stride]

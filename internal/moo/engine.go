@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/ivm"
 	"repro/internal/jointree"
 	"repro/internal/query"
 )
@@ -138,6 +139,11 @@ type BatchResult struct {
 	// Materialized holds every materialized view (internal and output)
 	// indexed by view ID — the cached state Apply maintains incrementally.
 	Materialized []*ViewData
+	// Versions pins the base-relation version vector the result was
+	// computed over: RunPlan captures it before executing, Apply records
+	// the vector its maintenance round commits (ivm.Schedule.Commits). A
+	// snapshot served to concurrent readers is identified by this vector.
+	Versions ivm.VersionVector
 }
 
 // Run plans and executes a batch of aggregate queries.
@@ -165,6 +171,7 @@ func (e *Engine) Run(queries []*query.Query) (*BatchResult, error) {
 // serves — the comparison target for incremental maintenance.
 func (e *Engine) RunPlan(plan *core.Plan) (*BatchResult, error) {
 	start := time.Now()
+	versions := ivm.CaptureVersions(e.db)
 	produced, err := e.execute(plan)
 	if err != nil {
 		return nil, err
@@ -174,6 +181,7 @@ func (e *Engine) RunPlan(plan *core.Plan) (*BatchResult, error) {
 		Results:      make([]*ViewData, len(plan.Queries)),
 		Elapsed:      time.Since(start),
 		Materialized: produced,
+		Versions:     versions,
 	}
 	for qi, vid := range plan.OutputView {
 		res.Results[qi] = produced[vid]

@@ -7,6 +7,7 @@ package moo
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/data"
 )
@@ -32,27 +33,41 @@ type ViewData struct {
 	index    map[string][2]int32
 
 	// fullIdx lazily maps packed full group-by keys to row indices; built by
-	// the maintenance fast path and shared across merges while the key
-	// columns are shared. Not goroutine-safe; Apply is single-threaded.
-	fullIdx map[string]int32
+	// the maintenance fast path (and by EnsureIndex before snapshot
+	// publication) and shared across merges while the key columns are
+	// shared. The pointer is atomic because the single writer may build the
+	// index on a view concurrent readers already hold through a published
+	// snapshot: a reader's Lookup observes either nil (and scans linearly)
+	// or a fully built, immutable map. Only the writer ever builds.
+	fullIdx atomic.Pointer[map[string]int32]
 }
 
 // fullKeyIndex returns (building on first use) the packed-full-key → row map.
+// Building is writer-side only; a duplicate build is wasted work, never a
+// torn read, because the map is published whole via the atomic pointer and
+// never mutated afterwards.
 func (v *ViewData) fullKeyIndex() map[string]int32 {
-	if v.fullIdx == nil {
-		idx := make(map[string]int32, v.rows)
-		buf := make([]byte, 0, 8*len(v.GroupBy))
-		for i := 0; i < v.rows; i++ {
-			buf = buf[:0]
-			for c := range v.GroupBy {
-				buf = data.AppendKey(buf, v.Keys[c][i])
-			}
-			idx[string(buf)] = int32(i)
-		}
-		v.fullIdx = idx
+	if p := v.fullIdx.Load(); p != nil {
+		return *p
 	}
-	return v.fullIdx
+	idx := make(map[string]int32, v.rows)
+	buf := make([]byte, 0, 8*len(v.GroupBy))
+	for i := 0; i < v.rows; i++ {
+		buf = buf[:0]
+		for c := range v.GroupBy {
+			buf = data.AppendKey(buf, v.Keys[c][i])
+		}
+		idx[string(buf)] = int32(i)
+	}
+	v.fullIdx.Store(&idx)
+	return idx
 }
+
+// EnsureIndex pre-builds the full-key lookup index so subsequent Lookup
+// calls are O(1) map probes. Sessions call it on every output view before
+// publishing a snapshot: concurrent snapshot readers then share the
+// immutable index and never build (or mutate) anything on the read path.
+func (v *ViewData) EnsureIndex() { v.fullKeyIndex() }
 
 // NumRows returns the number of result tuples.
 func (v *ViewData) NumRows() int { return v.rows }
@@ -86,11 +101,20 @@ func (v *ViewData) SizeBytes() int64 {
 	return int64(v.rows)*int64(len(v.GroupBy))*8 + int64(len(v.Vals))*8
 }
 
-// Lookup returns the row index for an exact full group-by key, or -1. It is
-// a convenience for applications and tests (the executor uses the range
-// index instead).
+// Lookup returns the row index for an exact full group-by key, or -1. It
+// probes the full-key index when one has been built (EnsureIndex, or the
+// maintenance fast path) and falls back to a linear scan otherwise — never
+// building on the lookup path, so it is safe for concurrent readers of a
+// published snapshot.
 func (v *ViewData) Lookup(key ...int64) int {
 	if len(key) != len(v.GroupBy) {
+		return -1
+	}
+	if p := v.fullIdx.Load(); p != nil {
+		buf := data.AppendKey(make([]byte, 0, 8*len(key)), key...)
+		if r, ok := (*p)[string(buf)]; ok {
+			return int(r)
+		}
 		return -1
 	}
 	for i := 0; i < v.rows; i++ {

@@ -7,6 +7,13 @@
 // incremental maintenance (lmfao.Session.Apply) — including dimension-table
 // streams and bag-member updates — agrees with full recomputation.
 //
+// The race-hardened half (concurrent_harness_test.go) verifies snapshot-isolated
+// serving: reader goroutines hammer lmfao.Session snapshots while a writer
+// streams deltas, and every observed snapshot must be bit-exact with a
+// single-threaded baseline replayed to that snapshot's version vector. The
+// ML differential half (ml_test.go) checks linreg/chowliu statistics over
+// maintained sessions against from-scratch recomputes.
+//
 // Generated numeric values are small dyadic rationals (k/4) and coefficients
 // are small integers, so every aggregate — a sum of products of such values —
 // is exactly representable in float64 regardless of summation order. The

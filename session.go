@@ -3,8 +3,11 @@ package lmfao
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/data"
+	"repro/internal/ivm"
 	"repro/internal/moo"
 )
 
@@ -12,11 +15,79 @@ import (
 // (columns in the relation's schema order).
 type Update = data.Delta
 
+// VersionVector maps base-relation names to the Relation.Version a served
+// state reflects: two states with equal vectors were computed over identical
+// base data. Every Snapshot is pinned to the vector its maintenance round
+// committed.
+type VersionVector = ivm.VersionVector
+
 // ApplyStats reports what an incremental maintenance pass did. Incremental
 // is false when the session had to fall back to a full recompute.
 type ApplyStats struct {
 	moo.ApplyStats
 	Incremental bool
+}
+
+// Snapshot is one published, immutable version of a session's batch results:
+// the materialized output views of every query plus the base-relation
+// version vector they reflect. Snapshots are safe for unrestricted
+// concurrent use — the read path performs no locking and no mutation — and
+// stay fully readable while (and after) the session's writer publishes
+// newer snapshots. A snapshot's memory is reclaimed by the garbage collector
+// once no reader holds it; consecutive snapshots share unchanged view
+// storage, so holding an old snapshot pins only what actually differed.
+type Snapshot struct {
+	epoch    uint64
+	res      *moo.BatchResult
+	versions VersionVector
+}
+
+// Epoch returns the snapshot's publication sequence number: 1 for the first
+// Run, strictly increasing with every committed maintenance round. Epochs
+// order snapshots of one session; they carry no cross-session meaning.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Versions returns the base-relation version vector the snapshot reflects.
+// The returned map is shared and must be treated as read-only.
+func (sn *Snapshot) Versions() VersionVector { return sn.versions }
+
+// Batch returns the underlying batch result (read-only: the views it holds
+// are shared with other snapshots and with the maintenance layer).
+func (sn *Snapshot) Batch() *BatchResult { return sn.res }
+
+// NumQueries returns the number of queries in the session batch.
+func (sn *Snapshot) NumQueries() int { return len(sn.res.Results) }
+
+// Result returns query queryIdx's materialized output (batch order). The
+// view carries a trailing hidden tuple-count column after the query's
+// aggregates; it is shared across snapshots and must not be mutated.
+func (sn *Snapshot) Result(queryIdx int) *Result { return sn.res.Results[queryIdx] }
+
+// Lookup returns the aggregate values for one group of query queryIdx (key
+// values in the output's group-by order, which sorts attributes by ID), or
+// ok=false if the group is absent. It probes the pre-built full-key index —
+// a lock-free map lookup — and trims the hidden tuple-count column, so the
+// returned row has exactly the query's aggregates in query order.
+func (sn *Snapshot) Lookup(queryIdx int, key ...int64) ([]float64, bool) {
+	v := sn.res.Results[queryIdx]
+	i := v.Lookup(key...)
+	if i < 0 {
+		return nil, false
+	}
+	n := len(sn.res.Plan.Queries[queryIdx].Aggs)
+	out := make([]float64, n)
+	for c := 0; c < n; c++ {
+		out[c] = v.Val(i, c)
+	}
+	return out, true
+}
+
+// ApplyResult delivers an ApplyAsync outcome: the per-update maintenance
+// stats and the first error, exactly as the equivalent Apply call would have
+// returned them.
+type ApplyResult struct {
+	Stats []*ApplyStats
+	Err   error
 }
 
 // Session keeps a query batch's materialized view DAG alive across base-data
@@ -35,14 +106,42 @@ type ApplyStats struct {
 // core.CountColName); aggregate columns keep their query order, so
 // applications indexing columns by aggregate position are unaffected.
 //
+// # Concurrency: snapshot-isolated serving
+//
+// The session follows an MVCC-lite publication protocol. Maintenance
+// (Run/Apply/ApplyAsync) is the WRITE side: calls are serialized by an
+// internal mutex, so the session has one logical writer at a time; the
+// engine, database and join tree backing a session must not be mutated or
+// scanned by anything else while it lives (do not share an engine between
+// sessions). Serving is the READ side: any number of goroutines may call
+// Snapshot at any time — a single atomic pointer load — and query the
+// returned Snapshot freely while maintenance runs. Apply builds maintained
+// views as fresh immutable values and publishes each committed round
+// atomically; published snapshots are never patched in place, so a reader
+// observes either the previous round or the next one, never a partial
+// state.
+//
+// A failed maintenance round leaves the last committed snapshot published
+// (readers keep serving the older, still-consistent version) and forces the
+// writer's next round to recompute from scratch.
+//
 // Limitations: aggregates must live in the sum-product semiring (every
 // Aggregate built from this package's constructors does; MIN/MAX-style
 // aggregates, which are not expressible here, would not survive deletes).
-// Sessions are not safe for concurrent use.
 type Session struct {
 	eng     *Engine
 	queries []*Query
-	res     *BatchResult
+
+	// writerMu serializes the maintenance side. The read side never takes
+	// it: snapshot acquisition is the atomic load below.
+	writerMu sync.Mutex
+	// res is the writer-private maintained state (nil forces the next
+	// round to recompute). It usually aliases snap's batch result.
+	res *moo.BatchResult
+	// epoch counts publications; writer-private (published inside the
+	// Snapshot, read by readers from there).
+	epoch uint64
+	snap  atomic.Pointer[Snapshot]
 }
 
 // NewSession builds an engine over db with TrackCounts enabled and prepares
@@ -57,7 +156,8 @@ func NewSession(db *Database, queries []*Query, opts Options) (*Session, error) 
 }
 
 // NewSessionWithEngine wraps an existing engine; its options must have
-// TrackCounts set.
+// TrackCounts set. The engine becomes part of the session's write side: it
+// must not be used concurrently with the session's maintenance calls.
 func NewSessionWithEngine(eng *Engine, queries []*Query) (*Session, error) {
 	if !eng.Options().TrackCounts {
 		return nil, fmt.Errorf("lmfao: session engine needs Options.TrackCounts")
@@ -68,28 +168,75 @@ func NewSessionWithEngine(eng *Engine, queries []*Query) (*Session, error) {
 	return &Session{eng: eng, queries: queries}, nil
 }
 
-// Engine returns the session's engine.
+// Engine returns the session's engine (write side: see the concurrency
+// contract on Session).
 func (s *Session) Engine() *Engine { return s.eng }
 
-// Run (re)computes the batch from scratch and caches the full view DAG.
+// Snapshot returns the latest committed snapshot, or nil before the first
+// Run. The call is lock-free (one atomic pointer load) and never blocks on
+// in-flight maintenance; the returned snapshot stays valid and immutable
+// regardless of later maintenance rounds.
+func (s *Session) Snapshot() *Snapshot { return s.snap.Load() }
+
+// publishLocked commits res as the next snapshot, pinned to versions (nil
+// falls back to res.Versions, then to a fresh capture). Caller holds
+// writerMu. Output lookup indexes are built here, on the write side, so
+// concurrent readers share immutable indexes and never build anything
+// themselves.
+func (s *Session) publishLocked(res *moo.BatchResult, versions VersionVector) {
+	for _, v := range res.Results {
+		v.EnsureIndex()
+	}
+	if versions == nil {
+		versions = res.Versions
+	}
+	if versions == nil {
+		versions = ivm.CaptureVersions(s.eng.DB())
+	}
+	s.epoch++
+	s.snap.Store(&Snapshot{epoch: s.epoch, res: res, versions: versions})
+}
+
+// Run (re)computes the batch from scratch, caches the full view DAG and
+// publishes it as a new snapshot.
 func (s *Session) Run() (*BatchResult, error) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	return s.runLocked()
+}
+
+func (s *Session) runLocked() (*BatchResult, error) {
 	res, err := s.eng.Run(s.queries)
 	if err != nil {
 		return nil, err
 	}
 	s.res = res
+	s.publishLocked(res, nil)
 	return res, nil
 }
 
-// Result returns the cached batch result (nil before the first Run).
-func (s *Session) Result() *BatchResult { return s.res }
+// Result returns the latest published batch result (nil before the first
+// Run) — Snapshot().Batch() without the version metadata. Like a snapshot,
+// the returned result is immutable and safe to read concurrently with
+// maintenance.
+func (s *Session) Result() *BatchResult {
+	if sn := s.snap.Load(); sn != nil {
+		return sn.res
+	}
+	return nil
+}
 
 // Apply applies the updates to the base relations and maintains the cached
 // result, one update at a time (interleaving mutation and maintenance keeps
 // multi-relation batches exact: each delta is evaluated against the state
-// its predecessors produced). Relations the maintenance layer cannot handle
-// incrementally trigger one full recompute instead.
+// its predecessors produced). Every committed round is published as a new
+// snapshot before the next update is touched, so concurrent readers walk
+// through the same intermediate states a single-threaded caller would
+// observe. Relations the maintenance layer cannot handle incrementally
+// trigger one full recompute instead.
 func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	out := make([]*ApplyStats, 0, len(updates))
 	for _, u := range updates {
 		if err := s.eng.DB().ApplyDelta(u); err != nil {
@@ -107,28 +254,59 @@ func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 		res, st, err := s.eng.Apply(s.res, u)
 		switch {
 		case err == nil:
-			s.res = res
+			switch {
+			case res != s.res:
+				s.res = res
+				s.publishLocked(res, nil)
+			case !u.Empty():
+				// The base mutated but the maintained views are unchanged
+				// (e.g. a bag-member delta whose expansion joins nothing):
+				// re-publish the same views pinned to the new version
+				// vector, so the latest snapshot always advertises the base
+				// state the completed round reflects.
+				s.publishLocked(res, ivm.CaptureVersions(s.eng.DB()))
+			default:
+				// A truly empty update commits nothing; skip the no-op
+				// publication so epochs track real commits.
+			}
 			out = append(out, &ApplyStats{ApplyStats: *st, Incremental: true})
 		case errors.Is(err, moo.ErrNotIncremental):
-			if _, err := s.Run(); err != nil {
+			if _, err := s.runLocked(); err != nil {
 				return out, err
 			}
 			out = append(out, &ApplyStats{ApplyStats: moo.ApplyStats{Relation: u.Relation,
 				Inserted: u.InsertRows(), Deleted: u.DeleteRows()}, Incremental: false})
 		default:
 			// The base is already mutated; the cached result no longer
-			// matches it. Drop the cache so the next Run/Apply recomputes
-			// instead of serving (or merging into) stale views.
+			// matches it. Drop the writer's cache so the next Run/Apply
+			// recomputes instead of merging into stale views. The last
+			// committed snapshot stays published for readers.
 			s.res = nil
 			return out, err
 		}
 	}
 	if s.res == nil {
-		if _, err := s.Run(); err != nil {
+		if _, err := s.runLocked(); err != nil {
 			return out, err
 		}
 	}
 	return out, nil
+}
+
+// ApplyAsync runs Apply(updates...) on a background goroutine and returns a
+// buffered channel that delivers the single result when the round finishes.
+// Readers keep serving the last committed snapshot throughout and observe
+// the new one as soon as it is published. Concurrent ApplyAsync calls are
+// safe but serialize against each other (and against Run/Apply) in an
+// unspecified order; to preserve a specific update order, chain on the
+// returned channel.
+func (s *Session) ApplyAsync(updates ...Update) <-chan ApplyResult {
+	ch := make(chan ApplyResult, 1)
+	go func() {
+		stats, err := s.Apply(updates...)
+		ch <- ApplyResult{Stats: stats, Err: err}
+	}()
+	return ch
 }
 
 // InsertRows builds an insert-only update.

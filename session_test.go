@@ -84,6 +84,102 @@ func TestSessionIncrementalMaintenance(t *testing.T) {
 	}
 }
 
+// TestSessionSnapshotIsolation pins the publication protocol: a snapshot
+// acquired before a maintenance round keeps serving the old version,
+// bit-exact, after the round commits a new one.
+func TestSessionSnapshotIsolation(t *testing.T) {
+	db, _, amount, region := sessionFixture(t)
+	queries := []*Query{
+		NewQuery("byregion", []AttrID{region}, Count(), Sum(amount)),
+		NewQuery("total", nil, Sum(amount)),
+	}
+	sess, err := NewSession(db, queries, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Snapshot() != nil {
+		t.Fatal("snapshot published before first Run")
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	old := sess.Snapshot()
+	if old == nil || old.Epoch() != 1 {
+		t.Fatalf("first snapshot = %+v, want epoch 1", old)
+	}
+	oldVV := old.Versions()
+
+	if _, err := sess.Apply(Update{
+		Relation: "sales",
+		Inserts:  []Column{IntColumn([]int64{0, 0}), FloatColumn([]float64{10, 20})},
+		Deletes:  []Column{IntColumn([]int64{2}), FloatColumn([]float64{5})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cur := sess.Snapshot()
+	if cur.Epoch() <= old.Epoch() {
+		t.Fatalf("epoch did not advance: %d after %d", cur.Epoch(), old.Epoch())
+	}
+	if cur.Versions().Equal(oldVV) {
+		t.Fatalf("version vector unchanged across a mutating round: %v", oldVV)
+	}
+	if got, want := cur.Versions()["sales"], oldVV["sales"]+2; got != want {
+		t.Fatalf("sales version = %d, want %d (delete + append)", got, want)
+	}
+
+	// The old snapshot still serves the pre-update state.
+	if row, ok := old.Lookup(0, 10); !ok || row[0] != 4 || row[1] != 10 {
+		t.Fatalf("old snapshot region 10 = %v %v, want [4 10]", row, ok)
+	}
+	if row, ok := old.Lookup(0, 20); !ok || row[1] != 5 {
+		t.Fatalf("old snapshot region 20 = %v %v, want [1 5]", row, ok)
+	}
+	if row, ok := old.Lookup(1); !ok || row[0] != 15 {
+		t.Fatalf("old snapshot total = %v %v, want [15]", row, ok)
+	}
+	// The new snapshot serves the post-update state; region 20 vanished.
+	if row, ok := cur.Lookup(0, 10); !ok || row[0] != 6 || row[1] != 40 {
+		t.Fatalf("new snapshot region 10 = %v %v, want [6 40]", row, ok)
+	}
+	if _, ok := cur.Lookup(0, 20); ok {
+		t.Fatal("region 20 still present after its only tuple was deleted")
+	}
+	// Lookup trims the hidden count column: rows have exactly the query's
+	// aggregates.
+	if row, _ := cur.Lookup(0, 10); len(row) != 2 {
+		t.Fatalf("lookup row has %d cols, want 2 (hidden count trimmed)", len(row))
+	}
+}
+
+func TestSessionApplyAsync(t *testing.T) {
+	db, _, amount, _ := sessionFixture(t)
+	sess, err := NewSession(db, []*Query{NewQuery("total", nil, Sum(amount))}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Snapshot()
+	res := <-sess.ApplyAsync(InsertRows("sales", IntColumn([]int64{1}), FloatColumn([]float64{85})))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Stats) != 1 || !res.Stats[0].Incremental {
+		t.Fatalf("async stats = %+v, want one incremental pass", res.Stats)
+	}
+	after := sess.Snapshot()
+	if after.Epoch() <= before.Epoch() {
+		t.Fatalf("async round did not publish: epoch %d after %d", after.Epoch(), before.Epoch())
+	}
+	if row, ok := after.Lookup(0); !ok || row[0] != 100 {
+		t.Fatalf("total after async apply = %v %v, want [100]", row, ok)
+	}
+	if row, ok := before.Lookup(0); !ok || row[0] != 15 {
+		t.Fatalf("pre-async snapshot total = %v %v, want [15]", row, ok)
+	}
+}
+
 func TestSessionApplyBeforeRun(t *testing.T) {
 	db, _, amount, _ := sessionFixture(t)
 	sess, err := NewSession(db, []*Query{NewQuery("total", nil, Sum(amount))}, DefaultOptions())
