@@ -45,8 +45,33 @@ func main() {
 		updateFrac    = flag.Float64("update-frac", 0.01, "update-batch size as a fraction of the target relation's rows")
 		updateRel     = flag.String("update-rel", "", "relation to update (default: the dataset's largest)")
 		updateBatches = flag.Int("update-batches", 3, "update batches to apply and time")
+
+		shards       = flag.Int("shards", 0, "benchmark sharded maintenance throughput at N shards vs 1 shard (default dataset: retailer)")
+		shardBatches = flag.Int("shard-batches", 32, "update batches to stream through the sharded session")
+		shardRows    = flag.Int("shard-rows", 256, "rows per sharded update batch (half inserts, half deletes)")
+		benchJSON    = flag.String("bench-json", "", "write the -shards benchmark result as JSON to this file")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			// Partition pruning needs a non-toy fact table to show; default
+			// the shard bench to the maintenance-bench scale.
+			*scale = 0.01
+		}
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.shardBench(updateDatasets(*datasets), *shards, *shardBatches, *shardRows, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: shards: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *update {
 		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}

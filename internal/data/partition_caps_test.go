@@ -1,0 +1,30 @@
+package data
+
+import "testing"
+
+func TestPartitionDatabasePropagatesDeltaLogCaps(t *testing.T) {
+	db, k, _ := partitionTestDB(t)
+	db.SetDeltaLogCap(500)             // database-wide default
+	db.Relation("F").SetDeltaLogCap(7) // explicit per-relation override
+	shards, err := PartitionDatabase(db, "F", []AttrID{k}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sh := range shards {
+		if got := sh.Relation("F").DeltaLogCap(); got != 7 {
+			t.Fatalf("shard %d: fact cap = %d, want the explicit 7", s, got)
+		}
+		if got := sh.Relation("D").DeltaLogCap(); got != 500 {
+			t.Fatalf("shard %d: dimension cap = %d, want the database default 500", s, got)
+		}
+	}
+	// Without any configuration, shards stay on the built-in default.
+	db2, k2, _ := partitionTestDB(t)
+	shards2, err := PartitionDatabase(db2, "F", []AttrID{k2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shards2[0].Relation("F").DeltaLogCap(); got != DefaultDeltaLogCap {
+		t.Fatalf("unconfigured shard cap = %d, want DefaultDeltaLogCap", got)
+	}
+}

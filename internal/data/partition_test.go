@@ -1,0 +1,221 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func partitionTestDB(t *testing.T) (*Database, AttrID, AttrID) {
+	t.Helper()
+	db := NewDatabase()
+	k := db.Attr("k", Key)
+	m := db.Attr("m", Numeric)
+	c := db.Attr("c", Categorical)
+	if err := db.AddRelation(NewRelation("F",
+		[]AttrID{k, m},
+		[]Column{
+			NewIntColumn([]int64{0, 1, 2, 3, 4, 5, 6, 7, 0, 1}),
+			NewFloatColumn([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(NewRelation("D",
+		[]AttrID{k, c},
+		[]Column{
+			NewIntColumn([]int64{0, 1, 2, 3, 4, 5, 6, 7}),
+			NewIntColumn([]int64{0, 1, 0, 1, 0, 1, 0, 1}),
+		})); err != nil {
+		t.Fatal(err)
+	}
+	return db, k, m
+}
+
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		key := []int64{rng.Int63n(100) - 50, rng.Int63n(1000)}
+		n := 1 + rng.Intn(8)
+		s := ShardOf(key, n)
+		if s < 0 || s >= n {
+			t.Fatalf("ShardOf(%v, %d) = %d out of range", key, n, s)
+		}
+		if again := ShardOf(key, n); again != s {
+			t.Fatalf("ShardOf(%v, %d) not deterministic: %d then %d", key, n, s, again)
+		}
+	}
+	if got := ShardOf([]int64{123, 456}, 1); got != 0 {
+		t.Fatalf("single shard must route to 0, got %d", got)
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	// Sequential keys must not pile onto one shard; demand every shard of 4
+	// gets a decent share of 1000 sequential single-attribute keys.
+	counts := make([]int, 4)
+	for k := int64(0); k < 1000; k++ {
+		counts[ShardOf([]int64{k}, 4)]++
+	}
+	for s, c := range counts {
+		if c < 100 {
+			t.Fatalf("shard %d got only %d of 1000 sequential keys: %v", s, c, counts)
+		}
+	}
+}
+
+func TestPartitionByRoundTrip(t *testing.T) {
+	db, k, _ := partitionTestDB(t)
+	f := db.Relation("F")
+	for _, n := range []int{1, 2, 3, 5} {
+		parts, err := f.PartitionBy([]AttrID{k}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != n {
+			t.Fatalf("got %d parts, want %d", len(parts), n)
+		}
+		total := 0
+		seen := map[[2]int64]int{}
+		for s, p := range parts {
+			total += p.Len()
+			kc := p.MustCol(k)
+			for i := 0; i < p.Len(); i++ {
+				if want := ShardOf([]int64{kc.Ints[i]}, n); want != s {
+					t.Fatalf("n=%d: key %d landed on shard %d, ShardOf says %d", n, kc.Ints[i], s, want)
+				}
+				seen[[2]int64{kc.Ints[i], int64(p.Cols[1].Floats[i])}]++
+			}
+		}
+		if total != f.Len() {
+			t.Fatalf("n=%d: shards hold %d rows, source has %d", n, total, f.Len())
+		}
+		for i := 0; i < f.Len(); i++ {
+			key := [2]int64{f.Cols[0].Ints[i], int64(f.Cols[1].Floats[i])}
+			if seen[key] == 0 {
+				t.Fatalf("n=%d: source row %v missing from shards", n, key)
+			}
+			seen[key]--
+		}
+	}
+}
+
+func TestPartitionByErrors(t *testing.T) {
+	db, _, m := partitionTestDB(t)
+	f := db.Relation("F")
+	if _, err := f.PartitionBy([]AttrID{m}, 2); err == nil {
+		t.Fatal("partition on a numeric attribute must fail")
+	}
+	if _, err := f.PartitionBy([]AttrID{99}, 2); err == nil {
+		t.Fatal("partition on a missing attribute must fail")
+	}
+	if _, err := f.PartitionBy([]AttrID{0}, 0); err == nil {
+		t.Fatal("partition into 0 shards must fail")
+	}
+}
+
+func TestPartitionDatabase(t *testing.T) {
+	db, k, _ := partitionTestDB(t)
+	shards, err := PartitionDatabase(db, "F", []AttrID{k}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	factTotal := 0
+	for s, sh := range shards {
+		if sh.NumAttrs() != db.NumAttrs() {
+			t.Fatalf("shard %d has %d attrs, want %d", s, sh.NumAttrs(), db.NumAttrs())
+		}
+		for i := 0; i < db.NumAttrs(); i++ {
+			want, got := db.Attribute(AttrID(i)), sh.Attribute(AttrID(i))
+			if want.Name != got.Name || want.Kind != got.Kind {
+				t.Fatalf("shard %d attr %d: got %v/%v want %v/%v", s, i, got.Name, got.Kind, want.Name, want.Kind)
+			}
+		}
+		d := sh.Relation("D")
+		if d == nil || d.Len() != db.Relation("D").Len() {
+			t.Fatalf("shard %d: dimension D not fully replicated", s)
+		}
+		factTotal += sh.Relation("F").Len()
+	}
+	if factTotal != db.Relation("F").Len() {
+		t.Fatalf("fact rows across shards = %d, want %d", factTotal, db.Relation("F").Len())
+	}
+
+	// Shard mutations must not leak into the source or the other shards.
+	beforeSrc := db.Relation("D").Len()
+	before1 := shards[1].Relation("D").Len()
+	if err := shards[0].Relation("D").Append([]Column{
+		NewIntColumn([]int64{100}), NewIntColumn([]int64{0}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("D").Len() != beforeSrc || shards[1].Relation("D").Len() != before1 {
+		t.Fatal("shard mutation leaked into source or sibling shard")
+	}
+
+	if _, err := PartitionDatabase(db, "nope", []AttrID{k}, 2); err == nil {
+		t.Fatal("unknown fact relation must fail")
+	}
+	if _, err := PartitionDatabase(db, "F", nil, 2); err == nil {
+		t.Fatal("empty shard key must fail")
+	}
+}
+
+func TestRouteDelta(t *testing.T) {
+	db, k, _ := partitionTestDB(t)
+	f := db.Relation("F")
+	d := Delta{
+		Relation: "F",
+		Inserts: []Column{
+			NewIntColumn([]int64{2, 3, 4, 2}),
+			NewFloatColumn([]float64{20, 30, 40, 21}),
+		},
+		Deletes: []Column{
+			NewIntColumn([]int64{0, 1}),
+			NewFloatColumn([]float64{1, 2}),
+		},
+	}
+	const n = 3
+	routed, err := RouteDelta(f, d, []AttrID{k}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del := 0, 0
+	for s, rd := range routed {
+		if rd.Relation != "F" {
+			t.Fatalf("shard %d delta names %q", s, rd.Relation)
+		}
+		ins += rd.InsertRows()
+		del += rd.DeleteRows()
+		for i := 0; i < rd.InsertRows(); i++ {
+			if want := ShardOf([]int64{rd.Inserts[0].Ints[i]}, n); want != s {
+				t.Fatalf("insert key %d routed to shard %d, want %d", rd.Inserts[0].Ints[i], s, want)
+			}
+		}
+		for i := 0; i < rd.DeleteRows(); i++ {
+			if want := ShardOf([]int64{rd.Deletes[0].Ints[i]}, n); want != s {
+				t.Fatalf("delete key %d routed to shard %d, want %d", rd.Deletes[0].Ints[i], s, want)
+			}
+		}
+	}
+	if ins != d.InsertRows() || del != d.DeleteRows() {
+		t.Fatalf("routed %d/%d rows, want %d/%d", ins, del, d.InsertRows(), d.DeleteRows())
+	}
+
+	// A delete routes to the same shard as the insert that created its tuple.
+	sIns := ShardOf([]int64{2}, n)
+	found := false
+	for i := 0; i < routed[sIns].InsertRows(); i++ {
+		if routed[sIns].Inserts[0].Ints[i] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("insert with key 2 not on its hash shard")
+	}
+
+	if _, err := RouteDelta(f, Delta{Relation: "F", Inserts: []Column{NewIntColumn([]int64{1})}}, []AttrID{k}, n); err == nil {
+		t.Fatal("malformed block must fail routing")
+	}
+}

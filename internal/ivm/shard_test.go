@@ -1,0 +1,35 @@
+package ivm
+
+import "testing"
+
+func TestShardVectorCloneEqual(t *testing.T) {
+	sv := ShardVector{
+		{"F": 3, "D": 1},
+		{"F": 2, "D": 1},
+	}
+	cp := sv.Clone()
+	if !sv.Equal(cp) {
+		t.Fatal("clone not equal to source")
+	}
+	cp[1]["F"] = 99
+	if sv.Equal(cp) {
+		t.Fatal("mutating a clone component must not keep vectors equal")
+	}
+	if sv[1]["F"] != 2 {
+		t.Fatal("clone shares component maps with the source")
+	}
+	if sv.Equal(sv[:1]) {
+		t.Fatal("different shard counts must not be equal")
+	}
+	var empty ShardVector
+	if !empty.Equal(ShardVector{}) {
+		t.Fatal("empty vectors must be equal")
+	}
+}
+
+func TestShardVectorString(t *testing.T) {
+	sv := ShardVector{{"B": 2, "A": 1}, {}}
+	if got, want := sv.String(), "[{A:1 B:2} {}]"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package moo
+
+import "fmt"
+
+// CombineViews merges the materialized views of disjoint data partitions
+// into one: the group sets union and the aggregate values of shared groups
+// add, column by column — hidden tuple-count columns included, so the merged
+// view carries exactly the counts a single evaluation over the union of the
+// partitions would have produced. This is the read-side merge behind sharded
+// maintenance (lmfao.ShardedSession): each shard evaluates the same query
+// over its partition of the fact data, and because every join tuple of the
+// full database lives in exactly one shard, summing per-shard aggregates
+// over the unioned group set reconstructs the unsharded result.
+//
+// All parts must share one schema (same group-by attributes in the same
+// order, same stride); nil or empty parts are skipped. The inputs are not
+// mutated and share no storage with the result. Groups are emitted in
+// first-seen order across parts (part order, then row order) — like any
+// freshly built ViewData, row order is not part of the result contract.
+//
+// Correctness note for partitioned aggregation: per-part tuple counts are
+// non-negative, so a group's merged count is zero only when every part
+// reports it zero — a group can never vanish by cross-part cancellation, and
+// zero-count rows never arise here (parts drop them before publication).
+// Scalar (empty group-by) views stay single-row by construction: every part
+// contributes the same empty key.
+func CombineViews(parts []*ViewData) (*ViewData, error) {
+	var ref *ViewData
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if ref == nil {
+			ref = p
+			continue
+		}
+		if err := sameViewSchema(ref, p); err != nil {
+			return nil, err
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("moo: CombineViews over no views")
+	}
+	b := newViewBuilder(ref.GroupBy, ref.Stride, false)
+	for _, p := range parts {
+		addViewInto(b, p, 1)
+	}
+	return b.finalize(nil), nil
+}
+
+// sameViewSchema checks two views agree on group-by attributes and stride.
+func sameViewSchema(a, b *ViewData) error {
+	if a.Stride != b.Stride || len(a.GroupBy) != len(b.GroupBy) {
+		return fmt.Errorf("moo: CombineViews schema mismatch: %v vs %v", a, b)
+	}
+	for i := range a.GroupBy {
+		if a.GroupBy[i] != b.GroupBy[i] {
+			return fmt.Errorf("moo: CombineViews group-by mismatch: %v vs %v", a.GroupBy, b.GroupBy)
+		}
+	}
+	return nil
+}

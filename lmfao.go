@@ -28,6 +28,13 @@
 // Applications: LinearRegression (ridge via the covar matrix), DecisionTree
 // (CART), ChowLiu (Bayesian network structure from mutual information) and
 // DataCube.
+//
+// Beyond the paper's static pipeline, computed batches stay fresh under
+// base-data updates: Session maintains the view DAG incrementally and
+// serves lock-free snapshots while maintenance runs, and ShardedSession
+// scales maintenance throughput further by hash-partitioning the fact
+// relation across independent per-shard writers whose snapshots merge on
+// read.
 package lmfao
 
 import (

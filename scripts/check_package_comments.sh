@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
-# check_package_comments.sh — the CI docs gate for godoc coverage: fails
-# when any package (including commands) lacks a package comment, i.e. no
-# non-test file has a comment block ending on the line directly above its
-# `package` clause.
+# check_package_comments.sh — the CI docs gate for godoc coverage. Two
+# phases:
+#
+#   1. every package (including commands) must have a package comment, i.e.
+#      some non-test file with a comment block ending on the line directly
+#      above its `package` clause;
+#   2. every exported top-level symbol of the public lmfao package (the
+#      repository root) must carry a doc comment — a `//` block directly
+#      above the declaration, or, for grouped type/const/var declarations,
+#      either a comment on the group or one on the member.
 set -eu
 missing=0
 for d in $(go list -f '{{.Dir}}' ./...); do
@@ -27,5 +33,51 @@ for d in $(go list -f '{{.Dir}}' ./...); do
 done
 if [ "$missing" -ne 0 ]; then
 	echo "add a godoc package comment to each package listed above"
+fi
+
+# Phase 2: undocumented exported symbols in the public package.
+undocumented=0
+for f in ./*.go; do
+	case "$f" in *_test.go) continue ;; esac
+	[ -f "$f" ] || continue
+	awk -v f="${f#./}" '
+		function report(name) {
+			printf "undocumented exported symbol: %s: %s\n", f, name
+			bad = 1
+		}
+		function ident(line) {
+			sub(/^func \([^)]*\) /, "", line)
+			sub(/^(func|type|var|const) /, "", line)
+			split(line, p, /[ (\[{]/)
+			return p[1]
+		}
+		/^\/\/go:/ { next }
+		/^\/\// { c = 1; next }
+		b == 1 { if (/\*\//) { b = 0; c = 1 }; next }
+		/^\/\*/ { if (/\*\//) { c = 1 } else { b = 1 }; next }
+		/^(type|var|const) \($/ { inblock = 1; blockdoc = c; c = 0; mc = 0; next }
+		inblock == 1 {
+			if ($0 ~ /^\)/) { inblock = 0; next }
+			if ($0 ~ /^\t\/\//) { mc = 1; next }
+			if ($0 ~ /^\t[A-Z]/ && !blockdoc && !mc) {
+				line = $0; sub(/^\t/, "", line)
+				split(line, p, /[ \t=(\[{]/)
+				report(p[1])
+			}
+			if ($0 !~ /^[[:space:]]*$/) mc = 0
+			next
+		}
+		/^func \(?[A-Za-z]/ || /^type [A-Z]/ || /^var [A-Z]/ || /^const [A-Z]/ {
+			n = ident($0)
+			if (n ~ /^[A-Z]/ && !c) report(n)
+			c = 0; next
+		}
+		{ c = 0 }
+		END { exit bad }
+	' "$f" || undocumented=1
+done
+if [ "$undocumented" -ne 0 ]; then
+	echo "add a doc comment to each exported symbol listed above"
+	missing=1
 fi
 exit "$missing"

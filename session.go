@@ -128,6 +128,11 @@ type ApplyResult struct {
 // Limitations: aggregates must live in the sum-product semiring (every
 // Aggregate built from this package's constructors does; MIN/MAX-style
 // aggregates, which are not expressible here, would not survive deletes).
+//
+// A session has exactly one logical writer; when maintenance throughput on
+// one writer becomes the bottleneck, ShardedSession partitions the fact
+// relation across N independent sessions and merges their snapshots on
+// read.
 type Session struct {
 	eng     *Engine
 	queries []*Query
@@ -299,7 +304,8 @@ func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 // the new one as soon as it is published. Concurrent ApplyAsync calls are
 // safe but serialize against each other (and against Run/Apply) in an
 // unspecified order; to preserve a specific update order, chain on the
-// returned channel.
+// returned channel. Unlike ShardedSession.ApplyAsync there is no queueing or
+// coalescing: each call is one maintenance round.
 func (s *Session) ApplyAsync(updates ...Update) <-chan ApplyResult {
 	ch := make(chan ApplyResult, 1)
 	go func() {

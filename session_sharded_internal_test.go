@@ -1,0 +1,63 @@
+package lmfao
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+func insU(rel string, keys []int64, vals []float64) Update {
+	return Update{Relation: rel, Inserts: []data.Column{data.NewIntColumn(keys), data.NewFloatColumn(vals)}}
+}
+
+func delU(rel string, keys []int64, vals []float64) Update {
+	return Update{Relation: rel, Deletes: []data.Column{data.NewIntColumn(keys), data.NewFloatColumn(vals)}}
+}
+
+func TestCoalesceUpdates(t *testing.T) {
+	updates := []Update{
+		insU("F", []int64{1}, []float64{10}), // job 0
+		insU("F", []int64{2}, []float64{20}), // job 1: merges into previous
+		delU("F", []int64{3}, []float64{30}), // job 1: delete run starts
+		delU("F", []int64{4}, []float64{40}), // job 2: merges into previous
+		insU("G", []int64{5}, []float64{50}), // job 3: other relation
+		insU("G", []int64{6}, []float64{60}), // job 3: merges
+	}
+	owner := []int{0, 1, 1, 2, 3, 3}
+	out, firstJob := coalesceUpdates(updates, owner)
+	if len(out) != 3 {
+		t.Fatalf("coalesced into %d updates, want 3: %+v", len(out), out)
+	}
+	if got, want := out[0].InsertRows(), 2; got != want {
+		t.Fatalf("out[0] has %d inserts, want %d", got, want)
+	}
+	if out[0].Inserts[0].Ints[0] != 1 || out[0].Inserts[0].Ints[1] != 2 {
+		t.Fatalf("out[0] insert keys = %v, want [1 2]", out[0].Inserts[0].Ints)
+	}
+	if got, want := out[1].DeleteRows(), 2; got != want {
+		t.Fatalf("out[1] has %d deletes, want %d", got, want)
+	}
+	if out[2].Relation != "G" || out[2].InsertRows() != 2 {
+		t.Fatalf("out[2] = %+v, want 2 G-inserts", out[2])
+	}
+	// firstJob: the error-attribution boundary. A failure of out[1] must
+	// taint jobs >= 1 (its first contributor), never job 0.
+	want := []int{0, 1, 3}
+	for i := range want {
+		if firstJob[i] != want[i] {
+			t.Fatalf("firstJob = %v, want %v", firstJob, want)
+		}
+	}
+	// A mixed insert+delete update must never merge with its neighbors.
+	mixed := []Update{
+		insU("F", []int64{1}, []float64{1}),
+		{Relation: "F",
+			Inserts: []data.Column{data.NewIntColumn([]int64{2}), data.NewFloatColumn([]float64{2})},
+			Deletes: []data.Column{data.NewIntColumn([]int64{1}), data.NewFloatColumn([]float64{1})}},
+		insU("F", []int64{3}, []float64{3}),
+	}
+	out, _ = coalesceUpdates(mixed, []int{0, 1, 2})
+	if len(out) != 3 {
+		t.Fatalf("mixed update coalesced away: %d outputs, want 3", len(out))
+	}
+}
