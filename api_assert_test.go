@@ -1,0 +1,16 @@
+package lmfao
+
+// Compile-time contract assertions for the serving API: every serving type
+// must satisfy its interface. A drift here (a renamed method, a changed
+// signature) fails the build — the vet-style counterpart of the doc-comment
+// method-list check in scripts/check_package_comments.sh.
+var (
+	_ Maintainer = (*Session)(nil)
+	_ Maintainer = (*ShardedSession)(nil)
+
+	_ Queryable = (*Snapshot)(nil)
+	_ Queryable = (*ShardedSnapshot)(nil)
+
+	_ Requerier = (*Snapshot)(nil)
+	_ Requerier = (*ShardedSnapshot)(nil)
+)

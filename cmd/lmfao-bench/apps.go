@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	lmfao "repro"
+	"repro/internal/data"
+	"repro/internal/workloads"
+)
+
+// appsBench measures the application layer over the serving API: after each
+// maintained update round, a ridge linear-regression model is re-fit from
+// the session's merged snapshot (LearnLinearRegressionFrom — covar matrix
+// read straight out of the maintained views, zero aggregate recomputation)
+// and compared against the pre-serving-API strategy of recomputing the
+// whole covar batch from scratch on an engine (LearnLinearRegression). The
+// snapshot path is timed at 1, 2 and 4 shards; the recompute reference is
+// shard-independent and timed once over an identically mutated database
+// clone. Both paths share the model-optimization step, so the gap isolates
+// what the serving API saves: the aggregate computation.
+func (h *harness) appsBench(names []string, frac float64, batches int, jsonPath string) error {
+	fmt.Printf("\nApplication re-fit over the serving API (covar batch, %d update rounds, %.1f%% deltas)\n",
+		batches, frac*100)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tfact rows\tshards\trefit\tmaintain\trecompute\trefit speedup")
+	type cfgResult struct {
+		Shards     int     `json:"shards"`
+		RefitMS    float64 `json:"refit_ms"`
+		MaintainMS float64 `json:"maintain_ms"`
+		Speedup    float64 `json:"refit_speedup_vs_recompute"`
+	}
+	type benchResult struct {
+		Dataset      string      `json:"dataset"`
+		Scale        float64     `json:"scale"`
+		Fact         string      `json:"fact"`
+		FactRows     int         `json:"fact_rows"`
+		Batches      int         `json:"batches"`
+		RowsPerBatch int         `json:"rows_per_batch"`
+		RecomputeMS  float64     `json:"recompute_ms"`
+		Configs      []cfgResult `json:"configs"`
+	}
+	var results []benchResult
+	for _, name := range names {
+		ds, err := h.dataset(name)
+		if err != nil {
+			return err
+		}
+		spec := workloads.LinRegSpec(ds)
+		queries := workloads.CovarMatrix(ds)
+		opts := h.options()
+		opts.TrackCounts = true
+
+		// Probe the default fact/key pick once so every configuration and the
+		// stream generator agree on the routing.
+		probe, err := lmfao.NewShardedSession(ds.DB, queries, opts, lmfao.ShardOptions{Shards: 1})
+		if err != nil {
+			return err
+		}
+		factName, key := probe.FactRelation(), probe.ShardKey()
+		probe.Close()
+		fact := ds.DB.Relation(factName)
+		rowsPerBatch := int(frac * float64(fact.Len()))
+		if rowsPerBatch < 2 {
+			rowsPerBatch = 2
+		}
+
+		rng := rand.New(rand.NewSource(h.seed))
+		stream, err := genShardStream(rng, fact, key, batches+1, rowsPerBatch)
+		if err != nil {
+			return err
+		}
+
+		// Recompute reference: the same stream applied to a database clone,
+		// the model recomputed from scratch after every round.
+		recomputeMS, err := h.appsRecompute(ds.DB, spec, stream)
+		if err != nil {
+			return fmt.Errorf("%s recompute: %w", name, err)
+		}
+
+		res := benchResult{Dataset: name, Scale: h.scale, Fact: factName, FactRows: fact.Len(),
+			Batches: batches, RowsPerBatch: rowsPerBatch, RecomputeMS: recomputeMS}
+		for _, n := range []int{1, 2, 4} {
+			refit, maintain, err := h.appsRefit(ds.DB, queries, spec, opts, n, factName, key, stream)
+			if err != nil {
+				return fmt.Errorf("%s @%d shards: %w", name, n, err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.1fms\t%.1fms\t%.1fms\t%.1fx\n",
+				name, fact.Len(), n, refit, maintain, recomputeMS, recomputeMS/refit)
+			res.Configs = append(res.Configs, cfgResult{
+				Shards: n, RefitMS: refit, MaintainMS: maintain, Speedup: recomputeMS / refit,
+			})
+		}
+		results = append(results, res)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// appsRefit replays the stream through an n-shard session built from the
+// pristine database and returns the average per-round model re-fit and
+// maintenance latencies in milliseconds (one untimed warm-up round).
+func (h *harness) appsRefit(db *lmfao.Database, queries []*lmfao.Query, spec lmfao.LinRegSpec,
+	opts lmfao.Options, n int, factName string, key []lmfao.AttrID, stream []data.Delta) (refitMS, maintainMS float64, err error) {
+	sess, err := lmfao.NewShardedSession(db, queries, opts,
+		lmfao.ShardOptions{Shards: n, Relation: factName, Key: key})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sess.Close()
+	if _, err := sess.Run(); err != nil {
+		return 0, 0, err
+	}
+	if _, err := sess.Apply(stream[0]); err != nil { // warm-up round
+		return 0, 0, err
+	}
+	if _, err := lmfao.LearnLinearRegressionFrom(sess.Snapshot(), db, spec); err != nil {
+		return 0, 0, err
+	}
+	var refit, maintain time.Duration
+	for _, d := range stream[1:] {
+		start := time.Now()
+		if _, err := sess.Apply(d); err != nil {
+			return 0, 0, err
+		}
+		maintain += time.Since(start)
+		start = time.Now()
+		if _, err := lmfao.LearnLinearRegressionFrom(sess.Snapshot(), db, spec); err != nil {
+			return 0, 0, err
+		}
+		refit += time.Since(start)
+	}
+	rounds := float64(len(stream) - 1)
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 / rounds }
+	return ms(refit), ms(maintain), nil
+}
+
+// appsRecompute applies the stream to a clone of db and returns the average
+// per-round latency (ms) of recomputing the model from scratch on an engine
+// (one untimed warm-up round).
+func (h *harness) appsRecompute(db *lmfao.Database, spec lmfao.LinRegSpec, stream []data.Delta) (float64, error) {
+	ref, err := cloneDB(db)
+	if err != nil {
+		return 0, err
+	}
+	tree, err := lmfao.BuildJoinTree(ref)
+	if err != nil {
+		return 0, err
+	}
+	eng := lmfao.NewEngineWithTree(ref, tree, h.options())
+	if err := ref.ApplyDelta(stream[0]); err != nil { // warm-up round
+		return 0, err
+	}
+	if _, err := lmfao.LearnLinearRegression(eng, spec); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, d := range stream[1:] {
+		if err := ref.ApplyDelta(d); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := lmfao.LearnLinearRegression(eng, spec); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return float64(total.Microseconds()) / 1000 / float64(len(stream)-1), nil
+}
+
+// cloneDB deep-copies a database (attribute registry in ID order, so shared
+// queries and specs stay valid against the clone).
+func cloneDB(db *lmfao.Database) (*lmfao.Database, error) {
+	out := lmfao.NewDatabase()
+	for i := 0; i < db.NumAttrs(); i++ {
+		a := db.Attribute(lmfao.AttrID(i))
+		out.Attr(a.Name, a.Kind)
+	}
+	for _, r := range db.Relations() {
+		cols := make([]lmfao.Column, len(r.Cols))
+		for ci, c := range r.Cols {
+			if c.IsInt() {
+				cols[ci] = lmfao.IntColumn(append([]int64{}, c.Ints...))
+			} else {
+				cols[ci] = lmfao.FloatColumn(append([]float64{}, c.Floats...))
+			}
+		}
+		if err := out.AddRelation(lmfao.NewRelation(r.Name, append([]lmfao.AttrID{}, r.Attrs...), cols)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

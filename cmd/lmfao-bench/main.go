@@ -49,7 +49,9 @@ func main() {
 		shards       = flag.Int("shards", 0, "benchmark sharded maintenance throughput at N shards vs 1 shard (default dataset: retailer)")
 		shardBatches = flag.Int("shard-batches", 32, "update batches to stream through the sharded session")
 		shardRows    = flag.Int("shard-rows", 256, "rows per sharded update batch (half inserts, half deletes)")
-		benchJSON    = flag.String("bench-json", "", "write the -shards benchmark result as JSON to this file")
+		benchJSON    = flag.String("bench-json", "", "write the -shards/-apps benchmark result as JSON to this file")
+
+		apps = flag.Bool("apps", false, "benchmark application re-fit from serving snapshots (1/2/4 shards) vs engine recompute under an update stream (default dataset: retailer; uses -update-frac and -update-batches)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,26 @@ func main() {
 		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
 		if err := h.shardBench(updateDatasets(*datasets), *shards, *shardBatches, *shardRows, *benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "lmfao-bench: shards: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *apps {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			// Match the maintenance-bench scale: refit-vs-recompute needs a
+			// non-toy fact table to show the aggregate-recomputation cost.
+			*scale = 0.01
+		}
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.appsBench(updateDatasets(*datasets), *updateFrac, *updateBatches, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: apps: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -141,7 +141,7 @@ func ExampleShardedSession() {
 		log.Fatal(err)
 	}
 
-	sn := sharded.Snapshot() // vector of per-shard immutable snapshots
+	sn := sharded.Head() // vector of per-shard immutable snapshots
 	row, _ := sn.Lookup(0, 0)
 	fmt.Printf("region 0: %g\n", row[0])
 	row, _ = sn.Lookup(0, 1)
@@ -151,6 +151,61 @@ func ExampleShardedSession() {
 	// region 0: 26
 	// region 1: 43
 	// shards: 2
+}
+
+// ExampleQueryable re-fits a model from a live session between maintenance
+// rounds: the application entry points take a Queryable — the uniform read
+// contract over one-shot engine runs, session snapshots and merged sharded
+// snapshots — so the covar matrix is read straight out of the maintained
+// views, nothing recomputed. The identical call over RunQueryable's
+// one-shot adapter proves the three backings serve one contract.
+func ExampleQueryable() {
+	db, region, amount := salesDB()
+	spec := lmfao.LinRegSpec{Categorical: []lmfao.AttrID{region}, Label: amount, Lambda: 0.1}
+	batch := lmfao.CovarBatch(spec) // the canonical batch the session serves
+	sess, err := lmfao.NewSession(db, batch, lmfao.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	cm, err := lmfao.BuildCovarMatrixFrom(sess.Snapshot(), db, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training rows: %g\n", cm.Count)
+
+	// Stream an update; the session maintains the covar views incrementally.
+	if _, err := sess.Apply(lmfao.InsertRows("Sales",
+		lmfao.IntColumn([]int64{2}), lmfao.FloatColumn([]float64{9}))); err != nil {
+		log.Fatal(err)
+	}
+	cm, err = lmfao.BuildCovarMatrixFrom(sess.Snapshot(), db, spec) // fresh model, zero recompute
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after insert: %g\n", cm.Count)
+
+	// The same entry point over a one-shot engine run (the updates are
+	// quiesced, so the answers agree).
+	eng, err := lmfao.NewEngine(db, lmfao.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	oneShot, err := lmfao.RunQueryable(eng, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm2, err := lmfao.BuildCovarMatrixFrom(oneShot, db, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot agrees: %v\n", cm2.Count == cm.Count)
+	// Output:
+	// training rows: 4
+	// after insert: 5
+	// one-shot agrees: true
 }
 
 // ExampleSession_Snapshot serves reads from immutable snapshots while
@@ -170,7 +225,7 @@ func ExampleSession_Snapshot() {
 		log.Fatal(err)
 	}
 
-	before := sess.Snapshot() // pinned: immune to later maintenance
+	before := sess.Head() // pinned: immune to later maintenance
 
 	// Maintain in the background; readers keep serving `before` meanwhile.
 	res := <-sess.ApplyAsync(lmfao.InsertRows("Sales",
@@ -178,14 +233,14 @@ func ExampleSession_Snapshot() {
 	if res.Err != nil {
 		log.Fatal(res.Err)
 	}
-	after := sess.Snapshot()
+	after := sess.Head()
 
 	oldRow, _ := before.Lookup(0, 1) // region 1 in the old version
 	newRow, _ := after.Lookup(0, 1)  // region 1 after the insert
 	fmt.Printf("epochs: %d -> %d\n", before.Epoch(), after.Epoch())
 	fmt.Printf("region 1 before: %g, after: %g\n", oldRow[0], newRow[0])
 	fmt.Printf("sales version advanced: %v\n",
-		after.Versions()["Sales"] > before.Versions()["Sales"])
+		after.VersionVector()["Sales"] > before.VersionVector()["Sales"])
 	// Output:
 	// epochs: 1 -> 2
 	// region 1 before: 3, after: 43

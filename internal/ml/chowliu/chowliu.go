@@ -64,6 +64,27 @@ func Compute(eng *moo.Engine, attrs []data.AttrID) (*Result, *moo.BatchResult, e
 	return out, res, err
 }
 
+// ComputeFrom evaluates the MI matrix from any Queryable serving the
+// attributes' canonical batch (MIBatch order): the counts are read out of
+// the served views, so keeping a Chow-Liu structure fresh over a maintained
+// session costs assembly plus the spanning tree only. db supplies attribute
+// metadata and must share the vocabulary the batch was built against.
+func ComputeFrom(q moo.Queryable, db *data.Database, attrs []data.AttrID) (*Result, error) {
+	if len(attrs) < 2 {
+		return nil, fmt.Errorf("chowliu: need at least 2 attributes, got %d", len(attrs))
+	}
+	for _, a := range attrs {
+		if !db.Attribute(a).Kind.Discrete() {
+			return nil, fmt.Errorf("chowliu: attribute %q is numeric", db.Attribute(a).Name)
+		}
+	}
+	results, err := moo.GatherResults(q, MIBatch(attrs))
+	if err != nil {
+		return nil, err
+	}
+	return Assemble(attrs, results)
+}
+
 // Assemble computes the MI matrix from the batch results (total, marginals,
 // pair counts — in MIBatch order).
 func Assemble(attrs []data.AttrID, results []*moo.ViewData) (*Result, error) {

@@ -90,15 +90,37 @@ func Compute(eng *moo.Engine, spec Spec) (*Result, *moo.BatchResult, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return assemble(spec, batch, res.Results), res, nil
+}
+
+// ComputeFrom assembles the cube from any Queryable serving the spec's
+// canonical batch (Batch order, cuboid mask = query index): the cuboids are
+// the served views themselves, so a cube over a maintained session is
+// always fresh at zero recomputation cost. db supplies attribute metadata
+// and must share the vocabulary the batch was built against.
+func ComputeFrom(q moo.Queryable, db *data.Database, spec Spec) (*Result, error) {
+	if err := spec.Validate(db); err != nil {
+		return nil, err
+	}
+	batch := Batch(spec)
+	results, err := moo.GatherResults(q, batch)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(spec, batch, results), nil
+}
+
+// assemble wraps per-query views as cuboids (shared by both entry paths).
+func assemble(spec Spec, batch []*query.Query, results []*moo.ViewData) *Result {
 	out := &Result{Spec: spec}
 	for mask, q := range batch {
 		out.Cuboids = append(out.Cuboids, Cuboid{
 			Mask: mask,
 			Dims: q.GroupBy,
-			Data: res.Results[mask],
+			Data: results[mask],
 		})
 	}
-	return out, res, nil
+	return out
 }
 
 // Row is one 1NF cube row: dimension values (All where aggregated away) and
@@ -112,6 +134,7 @@ type Row struct {
 // cuboid mask then key.
 func (r *Result) Flatten() []Row {
 	k := len(r.Spec.Dims)
+	nv := r.numValues()
 	// Position of each dimension in the spec order.
 	pos := make(map[data.AttrID]int, k)
 	for i, d := range r.Spec.Dims {
@@ -127,8 +150,8 @@ func (r *Result) Flatten() []Row {
 			for gi, attr := range c.Data.GroupBy {
 				dims[pos[attr]] = c.Data.KeyAt(i, gi)
 			}
-			vals := make([]float64, c.Data.Stride)
-			for v := 0; v < c.Data.Stride; v++ {
+			vals := make([]float64, nv)
+			for v := 0; v < nv; v++ {
 				vals[v] = c.Data.Val(i, v)
 			}
 			rows = append(rows, Row{Dims: dims, Values: vals})
@@ -170,9 +193,15 @@ func (r *Result) Lookup(dims ...int64) ([]float64, bool) {
 	if row < 0 {
 		return nil, false
 	}
-	vals := make([]float64, c.Data.Stride)
+	vals := make([]float64, r.numValues())
 	for v := range vals {
 		vals[v] = c.Data.Val(row, v)
 	}
 	return vals, true
 }
+
+// numValues is the visible value width of every cuboid: the count plus one
+// sum per measure. Cuboids served by a maintained session carry an extra
+// hidden tuple-count column after these (Options.TrackCounts); sizing rows
+// by the spec instead of the view stride keeps both sources identical.
+func (r *Result) numValues() int { return 1 + len(r.Spec.Measures) }

@@ -126,6 +126,25 @@ func BuildCovar(eng *moo.Engine, spec FeatureSpec) (*CovarMatrix, *moo.BatchResu
 	return cm, res, err
 }
 
+// BuildCovarFrom assembles the covar matrix from any Queryable serving the
+// spec's canonical batch (CovarBatch order) — a session snapshot, a merged
+// sharded snapshot, or a one-shot run. Nothing is recomputed: the matrix is
+// read straight out of the served views, so re-fitting a model from a live
+// session costs assembly plus optimization only. db supplies attribute
+// metadata (names, kinds) and must share the vocabulary the batch was built
+// against.
+func BuildCovarFrom(q moo.Queryable, db *data.Database, spec FeatureSpec) (*CovarMatrix, error) {
+	if err := spec.Validate(db); err != nil {
+		return nil, err
+	}
+	batch := CovarBatch(spec)
+	results, err := moo.GatherResults(q, batch)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleCovar(db, spec, batch, results)
+}
+
 // AssembleCovar builds the covar matrix from batch results (exported
 // separately so baseline engines can reuse the assembly in tests).
 func AssembleCovar(db *data.Database, spec FeatureSpec, batch []*query.Query, results []*moo.ViewData) (*CovarMatrix, error) {

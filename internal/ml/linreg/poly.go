@@ -106,7 +106,32 @@ func LearnPolynomial(eng *moo.Engine, s PolySpec) (*PolyModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	vd := res.Results[0]
+	return solvePoly(res.Results[0], ms, s)
+}
+
+// LearnPolynomialFrom solves the polynomial model from any Queryable
+// serving the spec's canonical batch (PolyBatch order): the covar entries
+// are read out of the served scalar view, so nothing is recomputed. db
+// supplies attribute metadata and must share the vocabulary the batch was
+// built against.
+func LearnPolynomialFrom(q moo.Queryable, db *data.Database, s PolySpec) (*PolyModel, error) {
+	if err := s.Validate(db); err != nil {
+		return nil, err
+	}
+	batch, ms := PolyBatch(db, s)
+	results, err := moo.GatherResults(q, batch)
+	if err != nil {
+		return nil, err
+	}
+	return solvePoly(results[0], ms, s)
+}
+
+// solvePoly assembles the monomial normal equations from the scalar covar
+// view and solves them (shared by the engine and Queryable paths).
+func solvePoly(vd *moo.ViewData, ms []Monomial, s PolySpec) (*PolyModel, error) {
+	if vd.NumRows() != 1 {
+		return nil, fmt.Errorf("linreg: scalar polynomial covar query returned %d rows", vd.NumRows())
+	}
 	d := len(ms)
 	a := linalg.NewMatrix(d, d)
 	b := make([]float64, d)

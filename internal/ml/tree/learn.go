@@ -8,19 +8,40 @@ import (
 	"repro/internal/query"
 )
 
+// RunBatch evaluates one ad-hoc aggregate batch and returns one
+// materialized view per query, batch order — the only capability tree
+// learning needs from its backend. An engine, a session snapshot's requery
+// hook, or a sharded snapshot's fan-out-and-merge all fit.
+type RunBatch func(queries []*query.Query) ([]*moo.ViewData, error)
+
 // Learn grows a CART tree using the LMFAO engine: every node evaluation is
 // one aggregate batch over the input database; the training dataset is never
 // materialized.
 func Learn(eng *moo.Engine, spec Spec) (*Model, error) {
+	return LearnWith(func(queries []*query.Query) ([]*moo.ViewData, error) {
+		res, err := eng.Run(queries)
+		if err != nil {
+			return nil, err
+		}
+		return res.Results, nil
+	}, eng.DB(), spec)
+}
+
+// LearnWith grows a CART tree over any batch evaluator: each node's
+// candidate-split statistics are one batch handed to run, conditioned on
+// the node's ancestor splits. db supplies attribute metadata and the base
+// columns the split thresholds are bucketed from; it must be the database
+// (or an identically loaded copy of the database) behind run.
+func LearnWith(run RunBatch, db *data.Database, spec Spec) (*Model, error) {
 	spec.normalize()
-	if err := spec.Validate(eng.DB()); err != nil {
+	if err := spec.Validate(db); err != nil {
 		return nil, err
 	}
-	thresholds, err := Thresholds(eng.DB(), spec)
+	thresholds, err := Thresholds(db, spec)
 	if err != nil {
 		return nil, err
 	}
-	l := &engineLearner{eng: eng, spec: spec, thresholds: thresholds}
+	l := &engineLearner{run: run, spec: spec, thresholds: thresholds}
 	root, classes, err := l.rootStats()
 	if err != nil {
 		return nil, err
@@ -46,7 +67,7 @@ func Learn(eng *moo.Engine, spec Spec) (*Model, error) {
 }
 
 type engineLearner struct {
-	eng        *moo.Engine
+	run        RunBatch
 	spec       Spec
 	thresholds map[data.AttrID][]float64
 	classes    []int64
@@ -57,22 +78,22 @@ type engineLearner struct {
 // classification, discovers the label classes.
 func (l *engineLearner) rootStats() (nodeStats, []int64, error) {
 	if l.spec.Task == Regression {
-		res, err := l.eng.Run([]*query.Query{query.NewQuery("rt_root", nil,
+		views, err := l.run([]*query.Query{query.NewQuery("rt_root", nil,
 			query.CountAgg(),
 			query.SumAgg(l.spec.Label),
 			query.SumPowAgg(l.spec.Label, 2))})
 		if err != nil {
 			return nodeStats{}, nil, err
 		}
-		vd := res.Results[0]
+		vd := views[0]
 		return nodeStats{count: vd.Val(0, 0), sum: vd.Val(0, 1), sumSq: vd.Val(0, 2)}, nil, nil
 	}
-	res, err := l.eng.Run([]*query.Query{query.NewQuery("ct_root",
+	views, err := l.run([]*query.Query{query.NewQuery("ct_root",
 		[]data.AttrID{l.spec.Label}, query.CountAgg())})
 	if err != nil {
 		return nodeStats{}, nil, err
 	}
-	vd := res.Results[0]
+	vd := views[0]
 	codes := make([]int64, vd.NumRows())
 	for i := range codes {
 		codes[i] = vd.KeyAt(i, 0)
@@ -128,14 +149,14 @@ func (l *engineLearner) grow(conds []Condition, stats nodeStats, depth int) (*No
 // statistics.
 func (l *engineLearner) candidates(conds []Condition) ([]candidate, error) {
 	batch := NodeBatch(l.spec, conds, l.thresholds)
-	res, err := l.eng.Run(batch)
+	results, err := l.run(batch)
 	if err != nil {
 		return nil, err
 	}
 	var cands []candidate
 	switch l.spec.Task {
 	case Regression:
-		vd := res.Results[0]
+		vd := results[0]
 		if vd.NumRows() != 1 {
 			return nil, fmt.Errorf("tree: node query returned %d rows", vd.NumRows())
 		}
@@ -153,7 +174,7 @@ func (l *engineLearner) candidates(conds []Condition) ([]candidate, error) {
 			}
 		}
 		for qi, attr := range l.spec.Categorical {
-			cvd := res.Results[1+qi]
+			cvd := results[1+qi]
 			// Sort categories so the candidate order matches the
 			// materialized learner exactly.
 			rowOf := map[int64]int{}
@@ -174,7 +195,7 @@ func (l *engineLearner) candidates(conds []Condition) ([]candidate, error) {
 		}
 	case Classification:
 		nc := len(l.classes)
-		vd := res.Results[0] // group-by label
+		vd := results[0] // group-by label
 		col := 1
 		for _, attr := range l.spec.Continuous {
 			for _, t := range l.thresholds[attr] {
@@ -202,7 +223,7 @@ func (l *engineLearner) candidates(conds []Condition) ([]candidate, error) {
 			if attr == l.spec.Label {
 				continue
 			}
-			cvd := res.Results[qi]
+			cvd := results[qi]
 			qi++
 			attrCol, labelCol := 0, 1
 			if l.spec.Label < attr {

@@ -1,0 +1,95 @@
+package moo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/ivm"
+	"repro/internal/query"
+)
+
+// Queryable is the uniform read-side contract over a computed batch of
+// group-by aggregates — the internal twin of the public lmfao.Queryable.
+// Implementations serve immutable, committed states: a one-shot engine run,
+// a session snapshot, or a merged sharded snapshot all answer the same way,
+// so application-layer consumers (internal/ml) learn from any of them
+// without knowing how the batch was computed or maintained.
+type Queryable interface {
+	// NumQueries returns the number of queries in the served batch.
+	NumQueries() int
+	// Result returns query queryIdx's materialized output (batch order),
+	// or nil when the implementation holds no state for it. The view may
+	// carry a trailing hidden tuple-count column after the query's
+	// aggregates and must be treated as read-only.
+	Result(queryIdx int) *ViewData
+	// Lookup returns the aggregate values for one group of query queryIdx
+	// (key values in the output's group-by order, which sorts attributes by
+	// ID), or ok=false if the group is absent. The returned row has exactly
+	// the query's aggregates in query order — hidden columns trimmed.
+	Lookup(queryIdx int, key ...int64) ([]float64, bool)
+	// Versions returns the base-relation version metadata of the served
+	// state: one VersionVector per independent writer (length 1 for
+	// unsharded states). Read-only.
+	Versions() ivm.ShardVector
+}
+
+// Requerier is the optional re-query hook refinement-style applications
+// need: evaluating a fresh ad-hoc aggregate batch over the database behind
+// the Queryable (the decision-tree learner issues one such batch per tree
+// node, conditioned on the node's ancestor splits). Implementations
+// serialize with their writer, so a requery never races maintenance — but
+// it reflects the writer's current base data, which may be newer than the
+// Queryable's pinned versions; quiesce updates when exact agreement with
+// the snapshot matters.
+type Requerier interface {
+	// Requery evaluates the batch and returns one materialized view per
+	// query, batch order.
+	Requery(queries []*query.Query) ([]*ViewData, error)
+}
+
+// GatherResults collects the materialized outputs of q for a canonical
+// application batch, validating that q actually serves that batch: the
+// query counts must match and every output view's group-by attribute set
+// must equal the corresponding query's. It is the guard application
+// assemblers call before decoding results positionally — a clear error here
+// beats silently mis-assembled statistics from a session built over a
+// different batch.
+func GatherResults(q Queryable, batch []*query.Query) ([]*ViewData, error) {
+	if got, want := q.NumQueries(), len(batch); got != want {
+		return nil, fmt.Errorf("moo: queryable serves %d queries, the application batch has %d (was the session built over this application's batch?)", got, want)
+	}
+	out := make([]*ViewData, len(batch))
+	for i, bq := range batch {
+		vd := q.Result(i)
+		if vd == nil {
+			return nil, fmt.Errorf("moo: queryable has no result for query %d (%s)", i, bq.Name)
+		}
+		if !sameAttrSet(vd.GroupBy, bq.GroupBy) {
+			return nil, fmt.Errorf("moo: query %d (%s): queryable groups by %v, the application batch wants %v", i, bq.Name, vd.GroupBy, bq.GroupBy)
+		}
+		if vd.Stride < len(bq.Aggs) {
+			return nil, fmt.Errorf("moo: query %d (%s): queryable carries %d aggregate columns, the application batch wants %d", i, bq.Name, vd.Stride, len(bq.Aggs))
+		}
+		out[i] = vd
+	}
+	return out, nil
+}
+
+// sameAttrSet reports whether two attribute lists contain the same set
+// (output views sort group-by attributes by ID; queries keep user order).
+func sameAttrSet(a, b []data.AttrID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]data.AttrID(nil), a...)
+	bs := append([]data.AttrID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

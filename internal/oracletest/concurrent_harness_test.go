@@ -76,7 +76,7 @@ type commitRecord struct {
 // captureSnapshot reads every query output of sn in full and exercises the
 // indexed Lookup path against the captured rows.
 func captureSnapshot(t *testing.T, sn *lmfao.Snapshot, queries []*query.Query) *observation {
-	obs := &observation{epoch: sn.Epoch(), vv: sn.Versions(), rows: make([]map[string][]float64, len(queries))}
+	obs := &observation{epoch: sn.Epoch(), vv: sn.VersionVector(), rows: make([]map[string][]float64, len(queries))}
 	for qi, q := range queries {
 		v := sn.Result(qi)
 		obs.rows[qi] = viewRows(v, len(q.Aggs))
@@ -125,8 +125,8 @@ func runConcurrentOracle(t *testing.T, rng *rand.Rand, s *Schema, queries []*que
 	}
 
 	commits := make(map[uint64]commitRecord)
-	first := sess.Snapshot()
-	commits[first.Epoch()] = commitRecord{prefix: 0, vv: first.Versions()}
+	first := sess.Head()
+	commits[first.Epoch()] = commitRecord{prefix: 0, vv: first.VersionVector()}
 
 	var (
 		applying    atomic.Bool   // writer's Apply in flight
@@ -144,7 +144,7 @@ func runConcurrentOracle(t *testing.T, rng *rand.Rand, s *Schema, queries []*que
 			var lastEpoch uint64
 			read := func() {
 				inFlight := applying.Load()
-				sn := sess.Snapshot()
+				sn := sess.Head()
 				if e := sn.Epoch(); e < lastEpoch {
 					t.Errorf("reader %d: epoch went backwards: %d after %d", ri, e, lastEpoch)
 					return
@@ -200,8 +200,8 @@ func runConcurrentOracle(t *testing.T, rng *rand.Rand, s *Schema, queries []*que
 			}
 		}
 		updates = append(updates, d)
-		sn := sess.Snapshot()
-		commits[sn.Epoch()] = commitRecord{prefix: len(updates), vv: sn.Versions()}
+		sn := sess.Head()
+		commits[sn.Epoch()] = commitRecord{prefix: len(updates), vv: sn.VersionVector()}
 		// Pace the stream: yield until some reader has captured this epoch,
 		// so (nearly) every committed snapshot gets replay-verified instead
 		// of only the handful a free-running writer lets readers catch. The

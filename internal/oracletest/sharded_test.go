@@ -87,7 +87,7 @@ func TestShardedSessionOracle(t *testing.T) {
 			if _, err := sharded.Run(); err != nil {
 				t.Fatal(err)
 			}
-			requireShardedAgreement(t, "initial", sharded.Snapshot(), single, len(queries))
+			requireShardedAgreement(t, "initial", sharded.Head(), single, len(queries))
 
 			applied := 0
 			for r := 0; r < rounds; r++ {
@@ -112,7 +112,7 @@ func TestShardedSessionOracle(t *testing.T) {
 					}
 				}
 				sharded.Wait()
-				requireShardedAgreement(t, fmt.Sprintf("round %d", r), sharded.Snapshot(), single, len(queries))
+				requireShardedAgreement(t, fmt.Sprintf("round %d", r), sharded.Head(), single, len(queries))
 
 				if r%10 == 9 {
 					// Belt and braces: the merged outputs against a fresh
@@ -125,7 +125,7 @@ func TestShardedSessionOracle(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					sn := sharded.Snapshot()
+					sn := sharded.Head()
 					for qi, q := range queries {
 						merged, err := sn.MergedResult(qi)
 						if err != nil {
@@ -190,6 +190,6 @@ func TestShardedSessionOracleFactStream(t *testing.T) {
 		if _, err := sharded.Apply(d); err != nil {
 			t.Fatalf("round %d: sharded: %v", r, err)
 		}
-		requireShardedAgreement(t, fmt.Sprintf("fact round %d", r), sharded.Snapshot(), single, len(queries))
+		requireShardedAgreement(t, fmt.Sprintf("fact round %d", r), sharded.Head(), single, len(queries))
 	}
 }

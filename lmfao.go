@@ -35,6 +35,22 @@
 // scales maintenance throughput further by hash-partitioning the fact
 // relation across independent per-shard writers whose snapshots merge on
 // read.
+//
+// # Serving API
+//
+// Two small interfaces tie the layers together. Queryable is the read side
+// — one immutable batch of results, whether from a one-shot engine run
+// (RunQueryable), a Session snapshot or a merged ShardedSession snapshot —
+// and Maintainer is the write/serve side (Run, Apply, ApplyAsync, Snapshot,
+// Wait, Close), satisfied by both session kinds. Every application has a
+// From entry point over Queryable, so a model re-fits from a live session
+// between maintenance rounds with zero aggregate recomputation:
+//
+//	sess, _ := lmfao.NewSession(db, lmfao.CovarBatch(spec), lmfao.DefaultOptions())
+//	sess.Run()
+//	model, _ := lmfao.LearnLinearRegressionFrom(sess.Snapshot(), db, spec)
+//	sess.Apply(updates...) // maintain incrementally ...
+//	model, _ = lmfao.LearnLinearRegressionFrom(sess.Snapshot(), db, spec) // ... re-fit fresh
 package lmfao
 
 import (

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# check_package_comments.sh — the CI docs gate for godoc coverage. Two
+# check_package_comments.sh — the CI docs gate for godoc coverage. Three
 # phases:
 #
 #   1. every package (including commands) must have a package comment, i.e.
@@ -8,7 +8,12 @@
 #   2. every exported top-level symbol of the public lmfao package (the
 #      repository root) must carry a doc comment — a `//` block directly
 #      above the declaration, or, for grouped type/const/var declarations,
-#      either a comment on the group or one on the member.
+#      either a comment on the group or one on the member;
+#   3. every exported interface of the public package must embed its full
+#      method list in its doc comment (the serving-API contract types —
+#      Queryable, Maintainer, Requerier — document their method sets; a
+#      method added or renamed without updating the documented contract is
+#      flagged as drift).
 set -eu
 missing=0
 for d in $(go list -f '{{.Dir}}' ./...); do
@@ -78,6 +83,42 @@ for f in ./*.go; do
 done
 if [ "$undocumented" -ne 0 ]; then
 	echo "add a doc comment to each exported symbol listed above"
+	missing=1
+fi
+
+# Phase 3: exported interfaces whose method set drifted from the method
+# list embedded in their doc comment.
+drifted=0
+for f in ./*.go; do
+	case "$f" in *_test.go) continue ;; esac
+	[ -f "$f" ] || continue
+	awk -v f="${f#./}" '
+		/^\/\// { doc = doc "\n" $0; next }
+		/^type [A-Z][A-Za-z0-9_]* interface \{/ {
+			split($2, p, /[ {]/)
+			iface = p[1]
+			idoc = doc
+			initerface = 1
+			doc = ""
+			next
+		}
+		initerface == 1 {
+			if ($0 ~ /^\}/) { initerface = 0; next }
+			if (match($0, /^\t[A-Z][A-Za-z0-9_]*\(/)) {
+				m = substr($0, RSTART + 1, RLENGTH - 2)
+				if (index(idoc, m "(") == 0) {
+					printf "interface doc drift: %s: %s documents no method %s — embed the full method list in the doc comment\n", f, iface, m
+					bad = 1
+				}
+			}
+			next
+		}
+		{ doc = "" }
+		END { exit bad }
+	' "$f" || drifted=1
+done
+if [ "$drifted" -ne 0 ]; then
+	echo "update the interface doc comments to match their method sets"
 	missing=1
 fi
 exit "$missing"

@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/ivm"
 	"repro/internal/moo"
+	"repro/internal/query"
 )
 
 // Update describes one batch of inserts and deletes against a base relation
@@ -36,10 +37,16 @@ type ApplyStats struct {
 // newer snapshots. A snapshot's memory is reclaimed by the garbage collector
 // once no reader holds it; consecutive snapshots share unchanged view
 // storage, so holding an old snapshot pins only what actually differed.
+//
+// Snapshot implements Queryable (and Requerier, when produced by a Session
+// or RunQueryable): it is the unsharded read side of the serving API.
 type Snapshot struct {
 	epoch    uint64
 	res      *moo.BatchResult
 	versions VersionVector
+	// requery evaluates a fresh ad-hoc batch behind this snapshot
+	// (Requerier); sessions install a hook that serializes with the writer.
+	requery func([]*query.Query) ([]*moo.ViewData, error)
 }
 
 // Epoch returns the snapshot's publication sequence number: 1 for the first
@@ -47,9 +54,16 @@ type Snapshot struct {
 // order snapshots of one session; they carry no cross-session meaning.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 
-// Versions returns the base-relation version vector the snapshot reflects.
-// The returned map is shared and must be treated as read-only.
-func (sn *Snapshot) Versions() VersionVector { return sn.versions }
+// Versions returns the snapshot's version metadata in the serving API's
+// uniform shape: a one-element ShardVector holding the base-relation
+// version vector the snapshot reflects (an unsharded snapshot has exactly
+// one writer). The vector is shared and must be treated as read-only; for
+// typed single-writer access use VersionVector.
+func (sn *Snapshot) Versions() ShardVector { return ShardVector{sn.versions} }
+
+// VersionVector returns the base-relation version vector the snapshot
+// reflects. The returned map is shared and must be treated as read-only.
+func (sn *Snapshot) VersionVector() VersionVector { return sn.versions }
 
 // Batch returns the underlying batch result (read-only: the views it holds
 // are shared with other snapshots and with the maintenance layer).
@@ -80,6 +94,20 @@ func (sn *Snapshot) Lookup(queryIdx int, key ...int64) ([]float64, bool) {
 		out[c] = v.Val(i, c)
 	}
 	return out, true
+}
+
+// Requery evaluates a fresh ad-hoc batch over the database behind this
+// snapshot (the Requerier hook; LearnDecisionTreeFrom depends on it). For
+// session-published snapshots the batch runs on the session's engine,
+// serialized with maintenance — it never races the writer, but it reflects
+// the session's current base data, which may be newer than this snapshot's
+// pinned Versions; quiesce updates when exact agreement matters. Snapshots
+// from RunQueryable run on the wrapped engine directly.
+func (sn *Snapshot) Requery(queries []*Query) ([]*Result, error) {
+	if sn.requery == nil {
+		return nil, fmt.Errorf("lmfao: snapshot has no requery hook")
+	}
+	return sn.requery(queries)
 }
 
 // ApplyResult delivers an ApplyAsync outcome: the per-update maintenance
@@ -132,7 +160,9 @@ type ApplyResult struct {
 // A session has exactly one logical writer; when maintenance throughput on
 // one writer becomes the bottleneck, ShardedSession partitions the fact
 // relation across N independent sessions and merges their snapshots on
-// read.
+// read. Both implement the Maintainer contract (Run / Apply / ApplyAsync /
+// Snapshot / Wait / Close), so serving-tier code never special-cases the
+// shard count.
 type Session struct {
 	eng     *Engine
 	queries []*Query
@@ -147,6 +177,13 @@ type Session struct {
 	// Snapshot, read by readers from there).
 	epoch uint64
 	snap  atomic.Pointer[Snapshot]
+
+	// async tracks in-flight ApplyAsync rounds for Wait; closeMu orders
+	// async.Add against Close's Wait (producers hold the read lock, Close
+	// flips closed under the write lock — the ShardedSession pattern).
+	async   sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  atomic.Bool
 }
 
 // NewSession builds an engine over db with TrackCounts enabled and prepares
@@ -177,11 +214,22 @@ func NewSessionWithEngine(eng *Engine, queries []*Query) (*Session, error) {
 // contract on Session).
 func (s *Session) Engine() *Engine { return s.eng }
 
-// Snapshot returns the latest committed snapshot, or nil before the first
-// Run. The call is lock-free (one atomic pointer load) and never blocks on
-// in-flight maintenance; the returned snapshot stays valid and immutable
-// regardless of later maintenance rounds.
-func (s *Session) Snapshot() *Snapshot { return s.snap.Load() }
+// Snapshot returns the latest committed snapshot as a Queryable, or nil
+// before the first Run. The call is lock-free (one atomic pointer load) and
+// never blocks on in-flight maintenance; the returned snapshot stays valid
+// and immutable regardless of later maintenance rounds. For the concrete
+// *Snapshot (Epoch, VersionVector, Batch) use Head.
+func (s *Session) Snapshot() Queryable {
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	return nil
+}
+
+// Head returns the latest committed snapshot as a concrete *Snapshot (nil
+// before the first Run) — Snapshot with typed access to Epoch,
+// VersionVector and Batch. Same lock-free publication contract.
+func (s *Session) Head() *Snapshot { return s.snap.Load() }
 
 // publishLocked commits res as the next snapshot, pinned to versions (nil
 // falls back to res.Versions, then to a fresh capture). Caller holds
@@ -199,16 +247,38 @@ func (s *Session) publishLocked(res *moo.BatchResult, versions VersionVector) {
 		versions = ivm.CaptureVersions(s.eng.DB())
 	}
 	s.epoch++
-	s.snap.Store(&Snapshot{epoch: s.epoch, res: res, versions: versions})
+	s.snap.Store(&Snapshot{epoch: s.epoch, res: res, versions: versions, requery: s.requeryLocked})
+}
+
+// requeryLocked is the Requery hook installed on every published snapshot:
+// it runs an ad-hoc batch on the session's engine under the writer mutex,
+// so requeries serialize with maintenance and with each other.
+func (s *Session) requeryLocked(queries []*query.Query) ([]*moo.ViewData, error) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	res, err := s.eng.Run(queries)
+	if err != nil {
+		return nil, err
+	}
+	return res.Results, nil
 }
 
 // Run (re)computes the batch from scratch, caches the full view DAG and
-// publishes it as a new snapshot.
-func (s *Session) Run() (*BatchResult, error) {
+// publishes it as a new snapshot, which it returns.
+func (s *Session) Run() (Queryable, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
-	return s.runLocked()
+	if s.closed.Load() {
+		return nil, errSessionClosed
+	}
+	if _, err := s.runLocked(); err != nil {
+		return nil, err
+	}
+	return s.snap.Load(), nil
 }
+
+// errSessionClosed is returned by maintenance calls after Close.
+var errSessionClosed = errors.New("lmfao: session is closed")
 
 func (s *Session) runLocked() (*BatchResult, error) {
 	res, err := s.eng.Run(s.queries)
@@ -242,6 +312,16 @@ func (s *Session) Result() *BatchResult {
 func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
+	if s.closed.Load() {
+		return nil, errSessionClosed
+	}
+	return s.applyLocked(updates)
+}
+
+// applyLocked is Apply's body without the closed check: rounds already
+// accepted by ApplyAsync before Close drain through here and commit (the
+// ShardedSession drain semantics), while new calls fail at the gate above.
+func (s *Session) applyLocked(updates []Update) ([]*ApplyStats, error) {
 	out := make([]*ApplyStats, 0, len(updates))
 	for _, u := range updates {
 		if err := s.eng.DB().ApplyDelta(u); err != nil {
@@ -308,11 +388,48 @@ func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 // coalescing: each call is one maintenance round.
 func (s *Session) ApplyAsync(updates ...Update) <-chan ApplyResult {
 	ch := make(chan ApplyResult, 1)
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		ch <- ApplyResult{Err: errSessionClosed}
+		return ch
+	}
+	s.async.Add(1)
 	go func() {
-		stats, err := s.Apply(updates...)
+		defer s.async.Done()
+		// Bypass the closed gate: this round was accepted before any Close,
+		// and Close drains accepted rounds rather than aborting them.
+		s.writerMu.Lock()
+		stats, err := s.applyLocked(updates)
+		s.writerMu.Unlock()
 		ch <- ApplyResult{Stats: stats, Err: err}
 	}()
 	return ch
+}
+
+// Wait blocks until every ApplyAsync round accepted so far has finished
+// (committed or failed). Synchronous Apply calls need no Wait — they return
+// after committing. Like ShardedSession.Wait, concurrent ApplyAsync callers
+// make the drained condition a moving target: quiesce producers first.
+func (s *Session) Wait() { s.async.Wait() }
+
+// Close permanently stops the maintenance side after draining: rounds
+// already accepted by ApplyAsync commit first (the same drain semantics as
+// ShardedSession.Close), then further Run/Apply/ApplyAsync calls fail,
+// while every published snapshot (and Result) stays fully readable —
+// including its Requery hook, which only needs the engine, not the
+// maintenance loop. A Session holds no background resources, so Close
+// exists mainly to satisfy the Maintainer shutdown contract uniformly with
+// ShardedSession; it is idempotent and safe to call concurrently with
+// readers.
+func (s *Session) Close() {
+	s.closeMu.Lock()
+	already := s.closed.Swap(true)
+	s.closeMu.Unlock()
+	if already {
+		return
+	}
+	s.async.Wait()
 }
 
 // InsertRows builds an insert-only update.

@@ -56,8 +56,8 @@ type ShardedStats struct {
 // Reads merge per-shard results: every join tuple of the full database lives
 // in exactly one shard (the fact partitions; replicated dimensions join
 // identically everywhere), so aggregate values add across shards and group
-// sets union — Snapshot returns a ShardedSnapshot whose Lookup and
-// MergedResult perform exactly that combination (moo.CombineViews).
+// sets union — Snapshot returns a ShardedSnapshot whose Lookup and Result
+// perform exactly that combination (moo.CombineViews).
 //
 // # Consistency
 //
@@ -232,8 +232,8 @@ func defaultShardKey(db *Database, fact *data.Relation) []AttrID {
 func (s *ShardedSession) NumShards() int { return len(s.sessions) }
 
 // Shard returns shard i's underlying Session — read it (Snapshot) freely;
-// writing through it directly would bypass routing and break the partition
-// invariant.
+// writing through it directly (Apply/Run/Close) would bypass routing and
+// break the partition invariant.
 func (s *ShardedSession) Shard(i int) *Session { return s.sessions[i] }
 
 // FactRelation returns the name of the hash-partitioned relation.
@@ -255,7 +255,10 @@ func (s *ShardedSession) Stats() ShardedStats {
 // Run computes the batch on every shard (in parallel) and returns the first
 // merged snapshot. Like Session.Run it can be called again to force a full
 // recompute everywhere.
-func (s *ShardedSession) Run() (*ShardedSnapshot, error) {
+func (s *ShardedSession) Run() (Queryable, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("lmfao: sharded session is closed")
+	}
 	errs := make([]error, len(s.sessions))
 	var wg sync.WaitGroup
 	for i, sess := range s.sessions {
@@ -271,7 +274,7 @@ func (s *ShardedSession) Run() (*ShardedSnapshot, error) {
 			return nil, fmt.Errorf("lmfao: shard %d: %w", i, err)
 		}
 	}
-	return s.Snapshot(), nil
+	return s.Head(), nil
 }
 
 // route splits one call's updates into per-shard update lists, preserving
@@ -540,21 +543,43 @@ func concatRun(run []Update, side func(Update) []Column) []Column {
 
 // ShardedSnapshot is one merged, immutable view of a sharded session: a
 // vector of per-shard Snapshots, each individually committed and immutable
-// (see the consistency contract on ShardedSession). Merging happens on read:
-// Lookup sums per-shard rows, MergedResult materializes the union of a
-// query's per-shard outputs.
+// (see the consistency contract on ShardedSession). Merging happens on
+// read: Lookup sums per-shard rows, Result materializes the union of a
+// query's per-shard outputs (lazily, cached on the snapshot).
+//
+// ShardedSnapshot implements Queryable and Requerier: it is the sharded
+// read side of the serving API, so applications written against Queryable
+// learn from a live sharded session exactly as from an unsharded one. The
+// zero value (no shard components) serves an empty batch: NumQueries is 0,
+// Lookup misses, Result returns nil.
 type ShardedSnapshot struct {
 	shards []*Snapshot
+
+	// mergeMu guards the lazy merged-view cache. Reads through Lookup and
+	// the per-shard components never take it.
+	mergeMu sync.Mutex
+	merged  []*Result
 }
 
-// Snapshot returns the current merged snapshot — one lock-free atomic load
-// per shard — or nil before Run has completed on every shard. Shard
-// components are consistent per shard; call Wait first to pin a fully
-// drained state.
-func (s *ShardedSession) Snapshot() *ShardedSnapshot {
+// Snapshot returns the current merged snapshot as a Queryable — one
+// lock-free atomic load per shard — or nil before Run has completed on
+// every shard. Shard components are consistent per shard; call Wait first
+// to pin a fully drained state. For the concrete *ShardedSnapshot
+// (NumShards, Shard, Epochs) use Head.
+func (s *ShardedSession) Snapshot() Queryable {
+	if sn := s.Head(); sn != nil {
+		return sn
+	}
+	return nil
+}
+
+// Head returns the current merged snapshot as a concrete *ShardedSnapshot
+// (nil before Run has completed on every shard) — Snapshot with typed
+// access to the shard components. Same lock-free acquisition contract.
+func (s *ShardedSession) Head() *ShardedSnapshot {
 	shards := make([]*Snapshot, len(s.sessions))
 	for i, sess := range s.sessions {
-		sn := sess.Snapshot()
+		sn := sess.Head()
 		if sn == nil {
 			return nil
 		}
@@ -569,8 +594,14 @@ func (sn *ShardedSnapshot) NumShards() int { return len(sn.shards) }
 // Shard returns shard i's component snapshot.
 func (sn *ShardedSnapshot) Shard(i int) *Snapshot { return sn.shards[i] }
 
-// NumQueries returns the number of queries in the session batch.
-func (sn *ShardedSnapshot) NumQueries() int { return sn.shards[0].NumQueries() }
+// NumQueries returns the number of queries in the session batch (0 for a
+// snapshot with no shard components).
+func (sn *ShardedSnapshot) NumQueries() int {
+	if len(sn.shards) == 0 {
+		return 0
+	}
+	return sn.shards[0].NumQueries()
+}
 
 // Epochs returns each shard's publication epoch, indexed by shard id.
 func (sn *ShardedSnapshot) Epochs() []uint64 {
@@ -586,7 +617,7 @@ func (sn *ShardedSnapshot) Epochs() []uint64 {
 func (sn *ShardedSnapshot) Versions() ShardVector {
 	out := make(ShardVector, len(sn.shards))
 	for i, sh := range sn.shards {
-		out[i] = sh.Versions()
+		out[i] = sh.VersionVector()
 	}
 	return out
 }
@@ -594,8 +625,9 @@ func (sn *ShardedSnapshot) Versions() ShardVector {
 // Lookup merges one group's aggregates across shards: per-shard values add
 // (each shard holds a disjoint partition of the join, so the sum is the
 // unsharded aggregate) and ok is false only when the group is absent from
-// every shard. Like Snapshot.Lookup it is lock-free, probes pre-built
-// indexes and returns exactly the query's aggregate columns.
+// every shard (always, for a snapshot with no shard components). Like
+// Snapshot.Lookup it is lock-free, probes pre-built indexes and returns
+// exactly the query's aggregate columns.
 func (sn *ShardedSnapshot) Lookup(queryIdx int, key ...int64) ([]float64, bool) {
 	var out []float64
 	for _, sh := range sn.shards {
@@ -614,15 +646,89 @@ func (sn *ShardedSnapshot) Lookup(queryIdx int, key ...int64) ([]float64, bool) 
 	return out, out != nil
 }
 
-// MergedResult materializes query queryIdx's full merged output: the union
-// of the per-shard group sets with aggregates (and the hidden tuple-count
-// column) summed — the view a single unsharded session would serve. The
-// merge builds a fresh view on every call (cost: total rows across shards);
-// for point reads use Lookup, which touches only the probed groups.
+// Result returns query queryIdx's full merged output: the union of the
+// per-shard group sets with aggregates (and the hidden tuple-count column)
+// summed — the view a single unsharded session would serve, read-only. The
+// merge happens lazily on first access and is cached on the snapshot, so
+// repeated reads (an application assembling its statistics, say) pay the
+// row-copy cost once; a single-shard snapshot shares the shard's view
+// directly. Returns nil for a snapshot with no shard components. For point
+// reads use Lookup, which touches only the probed groups and no cache.
+func (sn *ShardedSnapshot) Result(queryIdx int) *Result {
+	v, _ := sn.MergedResult(queryIdx)
+	return v
+}
+
+// MergedResult is Result with the merge error exposed: a non-nil error
+// means the snapshot has no shard components or the per-shard outputs
+// disagree on schema (impossible for snapshots of one session's batch).
 func (sn *ShardedSnapshot) MergedResult(queryIdx int) (*Result, error) {
+	if len(sn.shards) == 0 {
+		return nil, fmt.Errorf("lmfao: sharded snapshot has no shard components")
+	}
+	if nq := sn.NumQueries(); queryIdx < 0 || queryIdx >= nq {
+		return nil, fmt.Errorf("lmfao: query index %d out of range (batch has %d queries)", queryIdx, nq)
+	}
+	if len(sn.shards) == 1 {
+		return sn.shards[0].Result(queryIdx), nil
+	}
+	sn.mergeMu.Lock()
+	defer sn.mergeMu.Unlock()
+	if sn.merged == nil {
+		sn.merged = make([]*Result, sn.NumQueries())
+	}
+	if v := sn.merged[queryIdx]; v != nil {
+		return v, nil
+	}
 	parts := make([]*moo.ViewData, len(sn.shards))
 	for i, sh := range sn.shards {
 		parts[i] = sh.Result(queryIdx)
 	}
-	return moo.CombineViews(parts)
+	v, err := moo.CombineViews(parts)
+	if err != nil {
+		return nil, err
+	}
+	sn.merged[queryIdx] = v
+	return v, nil
+}
+
+// Requery evaluates a fresh ad-hoc batch across every shard and merges the
+// per-query outputs (the Requerier hook; LearnDecisionTreeFrom depends on
+// it). Each shard's evaluation serializes with that shard's writer and the
+// shards run in parallel; like Snapshot.Requery, the result reflects each
+// shard's current base data, which may be newer than this snapshot's pinned
+// components — quiesce updates (Wait) when exact agreement matters.
+func (sn *ShardedSnapshot) Requery(queries []*Query) ([]*Result, error) {
+	if len(sn.shards) == 0 {
+		return nil, fmt.Errorf("lmfao: sharded snapshot has no shard components")
+	}
+	parts := make([][]*Result, len(sn.shards))
+	errs := make([]error, len(sn.shards))
+	var wg sync.WaitGroup
+	for i, sh := range sn.shards {
+		wg.Add(1)
+		go func(i int, sh *Snapshot) {
+			defer wg.Done()
+			parts[i], errs[i] = sh.Requery(queries)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("lmfao: shard %d: %w", i, err)
+		}
+	}
+	out := make([]*Result, len(queries))
+	for qi := range queries {
+		per := make([]*moo.ViewData, len(sn.shards))
+		for i := range sn.shards {
+			per[i] = parts[i][qi]
+		}
+		v, err := moo.CombineViews(per)
+		if err != nil {
+			return nil, err
+		}
+		out[qi] = v
+	}
+	return out, nil
 }

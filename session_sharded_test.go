@@ -149,21 +149,21 @@ func TestShardedSessionMergedEqualsUnsharded(t *testing.T) {
 	stores := []int64{0, 1, 2, 3, 4, 5, 0, 1, 2}
 	amounts := []float64{10, 5, 7, 3, 2, 8, 1, 4, 6}
 	sharded, single, queries := newShardedPair(t, 3, stores, amounts, func(s int64) int64 { return s % 2 })
-	requireMergedEqual(t, "initial", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "initial", sharded.Head(), single, queries)
 
 	// Fact insert (routes across shards) + dimension-less delete.
 	applyBoth(t, sharded, single,
 		lmfao.InsertRows("Sales", lmfao.IntColumn([]int64{3, 4, 6}), lmfao.FloatColumn([]float64{11, 12, 13})),
 		lmfao.DeleteRows("Sales", lmfao.IntColumn([]int64{0}), lmfao.FloatColumn([]float64{10})),
 	)
-	requireMergedEqual(t, "after fact updates", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after fact updates", sharded.Head(), single, queries)
 
 	// Dimension update: broadcast to every shard. Store 7 gets its first
 	// sales rows afterwards, so the new region assignment matters.
 	applyBoth(t, sharded, single,
 		lmfao.InsertRows("Sales", lmfao.IntColumn([]int64{7, 7}), lmfao.FloatColumn([]float64{20, 21})),
 	)
-	requireMergedEqual(t, "after broadcast + fact", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after broadcast + fact", sharded.Head(), single, queries)
 }
 
 func TestShardedSessionEmptyShard(t *testing.T) {
@@ -181,13 +181,13 @@ func TestShardedSessionEmptyShard(t *testing.T) {
 			t.Fatalf("shard %d should be empty, has %d fact rows", i, n)
 		}
 	}
-	requireMergedEqual(t, "skewed initial", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "skewed initial", sharded.Head(), single, queries)
 
 	// Updates against the loaded shard and against a previously empty one.
 	applyBoth(t, sharded, single,
 		lmfao.InsertRows("Sales", lmfao.IntColumn([]int64{5, 1}), lmfao.FloatColumn([]float64{4, 9})),
 	)
-	requireMergedEqual(t, "after filling an empty shard", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after filling an empty shard", sharded.Head(), single, queries)
 }
 
 func TestShardedSessionGroupInOneShardOnly(t *testing.T) {
@@ -195,7 +195,7 @@ func TestShardedSessionGroupInOneShardOnly(t *testing.T) {
 	stores := []int64{0, 1, 2, 3}
 	amounts := []float64{10, 20, 30, 40}
 	sharded, single, queries := newShardedPair(t, 4, stores, amounts, func(s int64) int64 { return s })
-	sn := sharded.Snapshot()
+	sn := sharded.Head()
 	requireMergedEqual(t, "disjoint groups", sn, single, queries)
 	// The per-region groups must come from exactly one shard each.
 	for _, s := range stores {
@@ -223,13 +223,13 @@ func TestShardedSessionDeleteDrivenGroupDrop(t *testing.T) {
 	stores := []int64{0, 1, 3, 3}
 	amounts := []float64{1, 2, 30, 31}
 	sharded, single, queries := newShardedPair(t, 3, stores, amounts, regionOf)
-	if _, ok := sharded.Snapshot().Lookup(1, 9); !ok {
+	if _, ok := sharded.Head().Lookup(1, 9); !ok {
 		t.Fatal("region 9 group missing before the delete")
 	}
 	applyBoth(t, sharded, single,
 		lmfao.DeleteRows("Sales", lmfao.IntColumn([]int64{3, 3}), lmfao.FloatColumn([]float64{30, 31})),
 	)
-	sn := sharded.Snapshot()
+	sn := sharded.Head()
 	requireMergedEqual(t, "after group-dropping delete", sn, single, queries)
 	if _, ok := sn.Lookup(1, 9); ok {
 		t.Fatal("region 9 group still visible in the merged snapshot after its last rows were deleted")
@@ -263,7 +263,7 @@ func TestShardedSessionAsyncPipelineAndStats(t *testing.T) {
 		}
 	}
 	sharded.Wait()
-	requireMergedEqual(t, "after async burst", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after async burst", sharded.Head(), single, queries)
 
 	st := sharded.Stats()
 	if st.Shards != 2 || st.Enqueued != rounds {
@@ -296,7 +296,7 @@ func TestShardedSessionCoalescingPreservesMixedOrder(t *testing.T) {
 			t.Fatalf("async update %d: %v", i, res.Err)
 		}
 	}
-	requireMergedEqual(t, "after insert/delete pairs", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after insert/delete pairs", sharded.Head(), single, queries)
 }
 
 func TestShardedSessionErrorAttribution(t *testing.T) {
@@ -329,12 +329,12 @@ func TestShardedSessionErrorAttribution(t *testing.T) {
 		t.Fatal("bad delete must deliver an error to its own call")
 	}
 	sharded.Wait()
-	requireMergedEqual(t, "after error round", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after error round", sharded.Head(), single, queries)
 
 	// The shard recovers: later updates apply normally.
 	applyBoth(t, sharded, single,
 		lmfao.InsertRows("Sales", lmfao.IntColumn([]int64{1}), lmfao.FloatColumn([]float64{50})))
-	requireMergedEqual(t, "after recovery", sharded.Snapshot(), single, queries)
+	requireMergedEqual(t, "after recovery", sharded.Head(), single, queries)
 }
 
 func TestShardedSessionCloseAndErrors(t *testing.T) {
@@ -390,7 +390,7 @@ func TestShardedSessionDefaults(t *testing.T) {
 	if _, err := sharded.Run(); err != nil {
 		t.Fatal(err)
 	}
-	sn := sharded.Snapshot()
+	sn := sharded.Head()
 	if sn == nil || sn.NumQueries() != len(queries) {
 		t.Fatal("snapshot missing after Run")
 	}

@@ -97,17 +97,17 @@ func TestSessionSnapshotIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Snapshot() != nil {
+	if sess.Head() != nil {
 		t.Fatal("snapshot published before first Run")
 	}
 	if _, err := sess.Run(); err != nil {
 		t.Fatal(err)
 	}
-	old := sess.Snapshot()
+	old := sess.Head()
 	if old == nil || old.Epoch() != 1 {
 		t.Fatalf("first snapshot = %+v, want epoch 1", old)
 	}
-	oldVV := old.Versions()
+	oldVV := old.VersionVector()
 
 	if _, err := sess.Apply(Update{
 		Relation: "sales",
@@ -116,14 +116,14 @@ func TestSessionSnapshotIsolation(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	cur := sess.Snapshot()
+	cur := sess.Head()
 	if cur.Epoch() <= old.Epoch() {
 		t.Fatalf("epoch did not advance: %d after %d", cur.Epoch(), old.Epoch())
 	}
-	if cur.Versions().Equal(oldVV) {
+	if cur.VersionVector().Equal(oldVV) {
 		t.Fatalf("version vector unchanged across a mutating round: %v", oldVV)
 	}
-	if got, want := cur.Versions()["sales"], oldVV["sales"]+2; got != want {
+	if got, want := cur.VersionVector()["sales"], oldVV["sales"]+2; got != want {
 		t.Fatalf("sales version = %d, want %d (delete + append)", got, want)
 	}
 
@@ -160,7 +160,7 @@ func TestSessionApplyAsync(t *testing.T) {
 	if _, err := sess.Run(); err != nil {
 		t.Fatal(err)
 	}
-	before := sess.Snapshot()
+	before := sess.Head()
 	res := <-sess.ApplyAsync(InsertRows("sales", IntColumn([]int64{1}), FloatColumn([]float64{85})))
 	if res.Err != nil {
 		t.Fatal(res.Err)
@@ -168,7 +168,7 @@ func TestSessionApplyAsync(t *testing.T) {
 	if len(res.Stats) != 1 || !res.Stats[0].Incremental {
 		t.Fatalf("async stats = %+v, want one incremental pass", res.Stats)
 	}
-	after := sess.Snapshot()
+	after := sess.Head()
 	if after.Epoch() <= before.Epoch() {
 		t.Fatalf("async round did not publish: epoch %d after %d", after.Epoch(), before.Epoch())
 	}
