@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/moo"
+	"repro/internal/workloads"
+)
+
+// kernelBench measures the compiled maintenance kernels
+// (moo.Options.CompiledKernels) against the interpreted maintenance path and
+// against full recomputation. Both maintainers run with the semi-join
+// restriction enabled, so the comparison isolates what kernel specialization
+// buys: closure composition and probe resolution hoisted out of the per-delta
+// path, reusable scan contexts, and row-id-batched restricted scans in place
+// of gather-and-resort subset copies. Every join-tree relation of the dataset
+// is exercised in turn; the scattered-delta case (retailer's Items: its zipf
+// foreign key spreads a small delta across the whole fact table) is where the
+// id-batched scan matters most. Results go to stdout and, as JSON, to
+// jsonPath.
+func (h *harness) kernelBench(names []string, frac float64, batches int, jsonPath string) error {
+	fmt.Printf("\nCompiled maintenance kernels vs interpreted maintenance (covar batch, delta = %.2g of relation, %d update batches)\n",
+		frac, batches)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\trelation\t+rows\t-rows\tkernel groups\tid scans\tscan%\tkernel\tinterpreted\trecompute\tkernel vs interp\tkernel vs recompute")
+
+	type relResult struct {
+		Relation            string  `json:"relation"`
+		InsRows             int     `json:"ins_rows"`
+		DelRows             int     `json:"del_rows"`
+		KernelMS            float64 `json:"kernel_ms"`
+		InterpretedMS       float64 `json:"interpreted_ms"`
+		RecomputeMS         float64 `json:"recompute_ms"`
+		KernelVsInterpreted float64 `json:"kernel_vs_interpreted"`
+		KernelVsRecompute   float64 `json:"kernel_vs_recompute"`
+		KernelGroups        int     `json:"kernel_groups"`
+		IDScanGroups        int     `json:"id_scan_groups"`
+		ScannedPct          float64 `json:"scanned_pct"`
+		CacheHits           uint64  `json:"kernel_cache_hits"`
+		CacheSize           int     `json:"kernel_cache_size"`
+	}
+	type benchResult struct {
+		Dataset   string      `json:"dataset"`
+		Scale     float64     `json:"scale"`
+		Frac      float64     `json:"frac"`
+		Batches   int         `json:"batches"`
+		Relations []relResult `json:"relations"`
+	}
+
+	var results []benchResult
+	for _, name := range names {
+		ds, err := h.dataset(name)
+		if err != nil {
+			return err
+		}
+		queries := workloads.CovarMatrix(ds)
+		optsKern := h.options()
+		optsKern.TrackCounts = true
+		optsKern.SemiJoin = true
+		optsKern.CompiledKernels = true
+		optsInterp := optsKern
+		optsInterp.CompiledKernels = false
+
+		kernEng := moo.NewEngineWithTree(ds.DB, ds.Tree, optsKern)
+		interpEng := moo.NewEngineWithTree(ds.DB, ds.Tree, optsInterp)
+		recompute := moo.NewEngineWithTree(ds.DB, ds.Tree, optsKern)
+		kernRes, err := kernEng.Run(queries)
+		if err != nil {
+			return err
+		}
+		interpRes, err := interpEng.Run(queries)
+		if err != nil {
+			return err
+		}
+		if _, err := recompute.RunPlan(kernRes.Plan); err != nil { // warm-up
+			return err
+		}
+
+		res := benchResult{Dataset: name, Scale: h.scale, Frac: frac, Batches: batches}
+		rng := rand.New(rand.NewSource(h.seed))
+		for _, rel := range ds.DB.Relations() {
+			// Bag members share one materialized bag inside the tree; two
+			// independent maintainers would fold the bag delta twice (the
+			// same hazard updateBench sidesteps).
+			if ds.Tree.NodeByRelation(rel.Name) == nil {
+				continue
+			}
+			// One untimed warm-up batch: the first Apply compiles the dirty
+			// groups' kernels and builds the join-key indexes.
+			warm := randomDelta(rng, rel, frac)
+			if err := ds.DB.ApplyDelta(warm); err != nil {
+				return err
+			}
+			if kernRes, _, err = kernEng.Apply(kernRes, warm); err != nil {
+				return fmt.Errorf("%s/%s: warm-up: %w", name, rel.Name, err)
+			}
+			if interpRes, _, err = interpEng.Apply(interpRes, warm); err != nil {
+				return fmt.Errorf("%s/%s: warm-up: %w", name, rel.Name, err)
+			}
+			if _, err := recompute.RunPlan(kernRes.Plan); err != nil {
+				return err
+			}
+
+			var kernTotal, interpTotal, recomputeTotal time.Duration
+			rr := relResult{Relation: rel.Name}
+			var scanned, baseRows int
+			for b := 0; b < batches; b++ {
+				delta := randomDelta(rng, rel, frac)
+				if err := ds.DB.ApplyDelta(delta); err != nil {
+					return err
+				}
+				rr.InsRows += delta.InsertRows()
+				rr.DelRows += delta.DeleteRows()
+
+				// Alternate which maintainer is timed first: the first apply
+				// after the recompute pass runs on a cold cache, and the bias
+				// should not always land on the same engine.
+				doKern := func() error {
+					start := time.Now()
+					r, stats, err := kernEng.Apply(kernRes, delta)
+					if err != nil {
+						return fmt.Errorf("%s/%s: kernel apply: %w", name, rel.Name, err)
+					}
+					kernTotal += time.Since(start)
+					kernRes = r
+					rr.KernelGroups += stats.KernelGroups
+					rr.IDScanGroups += stats.IDScanGroups
+					scanned += stats.ScannedRows
+					baseRows += stats.BaseRows
+					return nil
+				}
+				doInterp := func() error {
+					start := time.Now()
+					r, _, err := interpEng.Apply(interpRes, delta)
+					if err != nil {
+						return fmt.Errorf("%s/%s: interpreted apply: %w", name, rel.Name, err)
+					}
+					interpTotal += time.Since(start)
+					interpRes = r
+					return nil
+				}
+				first, second := doKern, doInterp
+				if b%2 == 1 {
+					first, second = doInterp, doKern
+				}
+				if err := first(); err != nil {
+					return err
+				}
+				if err := second(); err != nil {
+					return err
+				}
+			}
+			// Recomputation is timed once per relation, after the maintenance
+			// batches: a full RunPlan between every batch pair would evict the
+			// maintainers' warm state and drown the comparison in cache noise.
+			start := time.Now()
+			if _, err := recompute.RunPlan(kernRes.Plan); err != nil {
+				return err
+			}
+			recomputeTotal = time.Duration(batches) * time.Since(start)
+			if baseRows > 0 {
+				rr.ScannedPct = 100 * float64(scanned) / float64(baseRows)
+			}
+			cs := kernEng.KernelCacheStats()
+			rr.CacheHits, rr.CacheSize = cs.Hits, cs.Size
+			rr.KernelMS = float64(kernTotal.Microseconds()) / float64(batches) / 1000
+			rr.InterpretedMS = float64(interpTotal.Microseconds()) / float64(batches) / 1000
+			rr.RecomputeMS = float64(recomputeTotal.Microseconds()) / float64(batches) / 1000
+			rr.KernelVsInterpreted = float64(interpTotal) / float64(kernTotal)
+			rr.KernelVsRecompute = float64(recomputeTotal) / float64(kernTotal)
+			res.Relations = append(res.Relations, rr)
+
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%.2f%%\t%s\t%s\t%s\t%.1f×\t%.1f×\n",
+				name, rel.Name, rr.InsRows, rr.DelRows, rr.KernelGroups, rr.IDScanGroups, rr.ScannedPct,
+				fmtDur(kernTotal/time.Duration(batches)),
+				fmtDur(interpTotal/time.Duration(batches)),
+				fmtDur(recomputeTotal/time.Duration(batches)),
+				rr.KernelVsInterpreted, rr.KernelVsRecompute)
+		}
+		results = append(results, res)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}

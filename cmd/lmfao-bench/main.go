@@ -52,6 +52,8 @@ func main() {
 		benchJSON    = flag.String("bench-json", "", "write the -shards/-apps benchmark result as JSON to this file")
 
 		apps = flag.Bool("apps", false, "benchmark application re-fit from serving snapshots (1/2/4 shards) vs engine recompute under an update stream (default dataset: retailer; uses -update-frac and -update-batches)")
+
+		kernels = flag.Bool("kernels", false, "benchmark compiled maintenance kernels vs interpreted maintenance vs recompute (default dataset: retailer; uses -update-frac and -update-batches; writes BENCH_kernels.json unless -bench-json overrides)")
 	)
 	flag.Parse()
 
@@ -99,6 +101,30 @@ func main() {
 		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
 		if err := h.updateBench(updateDatasets(*datasets), *updateFrac, *updateRel, *updateBatches); err != nil {
 			fmt.Fprintf(os.Stderr, "lmfao-bench: update: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *kernels {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			// Kernel specialization shows on non-toy scans; match the
+			// maintenance-bench scale.
+			*scale = 0.01
+		}
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_kernels.json"
+		}
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.kernelBench(updateDatasets(*datasets), *updateFrac, *updateBatches, path); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: kernels: %v\n", err)
 			os.Exit(1)
 		}
 		return

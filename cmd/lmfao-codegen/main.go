@@ -4,6 +4,7 @@
 //
 //	lmfao-codegen -dataset favorita -workload covar -o covar_favorita.go
 //	lmfao-codegen -dataset retailer -workload rtnode        # to stdout
+//	lmfao-codegen -dataset retailer -workload covar -maintain  # + maintenance kernels
 package main
 
 import (
@@ -23,16 +24,17 @@ func main() {
 		scale    = flag.Float64("scale", 0.0005, "dataset scale (affects attribute orders)")
 		seed     = flag.Int64("seed", 2019, "generator seed")
 		out      = flag.String("o", "", "output file (default stdout)")
+		maintain = flag.Bool("maintain", false, "also emit incremental maintenance kernels (plans with hidden tuple counts)")
 	)
 	flag.Parse()
 
-	if err := run(*dataset, *workload, *scale, *seed, *out); err != nil {
+	if err := run(*dataset, *workload, *scale, *seed, *out, *maintain); err != nil {
 		fmt.Fprintf(os.Stderr, "lmfao-codegen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, workload string, scale float64, seed int64, out string) error {
+func run(dataset, workload string, scale float64, seed int64, out string, maintain bool) error {
 	build, err := datagen.ByName(dataset)
 	if err != nil {
 		return err
@@ -45,7 +47,11 @@ func run(dataset, workload string, scale float64, seed int64, out string) error 
 	if err != nil {
 		return err
 	}
-	src, err := codegen.Generate(ds.Tree, batch, codegen.DefaultOptions())
+	gen := codegen.Generate
+	if maintain {
+		gen = codegen.GenerateMaintenance
+	}
+	src, err := gen(ds.Tree, batch, codegen.DefaultOptions())
 	if err != nil {
 		return err
 	}

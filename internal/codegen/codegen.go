@@ -47,10 +47,37 @@ func GenerateFromPlan(plan *core.Plan) ([]byte, error) {
 	if err := moo.GenerateSource(plan, &buf); err != nil {
 		return nil, err
 	}
-	src, err := format.Source(buf.Bytes())
+	return finish(buf.Bytes())
+}
+
+// GenerateMaintenance plans the batch with hidden tuple counts (deletion
+// support) and emits formatted Go source covering both evaluation and
+// incremental maintenance: the computeGroup scans plus, per join-tree
+// relation, the specialized maintenance kernels and a maintain_<Rel> driver —
+// the source form of the runtime's compiled maintenance kernels
+// (moo.Options.CompiledKernels).
+func GenerateMaintenance(tree *jointree.Tree, queries []*query.Query, opts Options) ([]byte, error) {
+	plan, err := core.BuildPlan(tree, queries, core.PlanOptions{
+		MultiRoot:   opts.MultiRoot,
+		MultiOutput: opts.MultiOutput,
+		TrackCounts: true,
+	})
 	if err != nil {
-		// Return the raw source in the error path to aid debugging.
-		return buf.Bytes(), fmt.Errorf("codegen: emitted source does not format: %w", err)
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := moo.GenerateMaintenanceSource(plan, &buf); err != nil {
+		return nil, err
+	}
+	return finish(buf.Bytes())
+}
+
+// finish formats and validates emitted source, returning the raw bytes in
+// the error path to aid debugging.
+func finish(raw []byte) ([]byte, error) {
+	src, err := format.Source(raw)
+	if err != nil {
+		return raw, fmt.Errorf("codegen: emitted source does not format: %w", err)
 	}
 	if err := Validate(src); err != nil {
 		return src, err

@@ -1,0 +1,119 @@
+package codegen
+
+import (
+	"bytes"
+	"flag"
+	"go/format"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// golden compares src against testdata/<name>, rewriting the file under
+// -update. The emitted source is deterministic, so goldens pin the exact
+// kernel shapes (scan orders, semi-join metadata, driver step order).
+func golden(t *testing.T, name string, src []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(src, want) {
+		t.Fatalf("emitted source deviates from %s (re-run with -update after reviewing)\n"+
+			"got %d bytes, want %d bytes", path, len(src), len(want))
+	}
+}
+
+func TestGenerateMaintenanceGolden(t *testing.T) {
+	_, tree, ids := starDB(t)
+	src, err := GenerateMaintenance(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatalf("GenerateMaintenance: %v\n%s", err, src)
+	}
+	for _, marker := range []string{
+		"func maintain_F(", "func maintain_D1(", "func maintain_D2(",
+		"func maintainGroup", "combineDelta(", "mergeDelta(", "sortRelBy(",
+	} {
+		if !bytes.Contains(src, []byte(marker)) {
+			t.Errorf("emitted source lacks %q", marker)
+		}
+	}
+	golden(t, "maintain_star.golden", src)
+}
+
+func TestGenerateComputeGolden(t *testing.T) {
+	_, tree, ids := starDB(t)
+	src, err := Generate(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "compute_star.golden", src)
+}
+
+// TestGenerateMaintenanceDeterministic re-emits from a freshly built schema
+// and demands byte equality: kernel emission must not depend on map
+// iteration or other incidental order.
+func TestGenerateMaintenanceDeterministic(t *testing.T) {
+	emit := func() []byte {
+		_, tree, ids := starDB(t)
+		src, err := GenerateMaintenance(tree, testBatch(ids), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("maintenance emission is not deterministic")
+	}
+}
+
+// TestGenerateMaintenanceFormatStable demands the emitted source is a gofmt
+// fixed point, so goldens never churn under formatting.
+func TestGenerateMaintenanceFormatStable(t *testing.T) {
+	_, tree, ids := starDB(t)
+	src, err := GenerateMaintenance(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmted, err := format.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, fmted) {
+		t.Fatal("emitted maintenance source is not gofmt-stable")
+	}
+}
+
+func TestGeneratedMaintenanceCompiles(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	_, tree, ids := starDB(t)
+	src, err := GenerateMaintenance(tree, testBatch(ids), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module generated\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated maintenance source failed to compile: %v\n%s\n----\n%s", err, out, src)
+	}
+}

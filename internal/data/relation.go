@@ -140,16 +140,42 @@ func (r *Relation) SortBy(order []AttrID) error {
 	if r.SortedBy(order) {
 		return nil
 	}
+	perm, err := r.SortPerm(order)
+	if err != nil {
+		return err
+	}
+	for i := range r.Cols {
+		r.Cols[i] = r.Cols[i].gather(perm)
+	}
+	r.sortOrder = append([]AttrID(nil), order...)
+	return nil
+}
+
+// sortKeys resolves the discrete key columns for a sort order.
+func (r *Relation) sortKeys(order []AttrID) ([][]int64, error) {
 	keys := make([][]int64, len(order))
 	for i, a := range order {
 		c, ok := r.Col(a)
 		if !ok {
-			return fmt.Errorf("data: sort of %q: missing attribute %d", r.Name, a)
+			return nil, fmt.Errorf("data: sort of %q: missing attribute %d", r.Name, a)
 		}
 		if !c.IsInt() {
-			return fmt.Errorf("data: sort of %q: attribute %d is numeric", r.Name, a)
+			return nil, fmt.Errorf("data: sort of %q: attribute %d is numeric", r.Name, a)
 		}
 		keys[i] = c.Ints
+	}
+	return keys, nil
+}
+
+// SortPerm returns the stable permutation SortBy would apply: perm[i] is the
+// receiver row that lands at position i when the relation is sorted
+// lexicographically by order. Rows with equal keys keep their relative order
+// (ascending row ids), so the permutation is unique. The receiver is left
+// untouched.
+func (r *Relation) SortPerm(order []AttrID) ([]int32, error) {
+	keys, err := r.sortKeys(order)
+	if err != nil {
+		return nil, err
 	}
 	perm := make([]int32, r.n)
 	for i := range perm {
@@ -164,10 +190,36 @@ func (r *Relation) SortBy(order []AttrID) error {
 		}
 		return false
 	})
-	for i := range r.Cols {
-		r.Cols[i] = r.Cols[i].gather(perm)
+	return perm, nil
+}
+
+// SortIDsBy stably sorts row ids in place, lexicographically by the given
+// discrete attributes. Starting from ascending ids this applies exactly the
+// permutation SortBy would, restricted to the id subset — a scan visiting
+// rows through the sorted ids sees them in the sequence a SortedCopy of the
+// gathered subset would produce, which keeps float accumulation orders (and
+// thus bit-exact results) identical between the two scan strategies.
+func (r *Relation) SortIDsBy(order []AttrID, ids []int32) error {
+	keys := make([][]int64, len(order))
+	for i, a := range order {
+		c, ok := r.Col(a)
+		if !ok {
+			return fmt.Errorf("data: id sort of %q: missing attribute %d", r.Name, a)
+		}
+		if !c.IsInt() {
+			return fmt.Errorf("data: id sort of %q: attribute %d is numeric", r.Name, a)
+		}
+		keys[i] = c.Ints
 	}
-	r.sortOrder = append([]AttrID(nil), order...)
+	sort.SliceStable(ids, func(x, y int) bool {
+		px, py := ids[x], ids[y]
+		for _, k := range keys {
+			if k[px] != k[py] {
+				return k[px] < k[py]
+			}
+		}
+		return false
+	})
 	return nil
 }
 

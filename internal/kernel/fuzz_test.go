@@ -1,0 +1,105 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// byteReader walks the fuzz input, yielding zeros once exhausted so every
+// input decodes to a well-defined shape pair.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func decodeInts(r *byteReader) []int {
+	switch r.next() % 3 {
+	case 0:
+		return nil
+	case 1:
+		return []int{}
+	}
+	n := int(r.next()) % 5
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.next()) % 32
+	}
+	return out
+}
+
+// decodeShape consumes one shape from the reader. Relation names take raw
+// bytes (quote and delimiter characters included), slices decode to nil,
+// empty and populated variants — the cases an injective key must separate.
+func decodeShape(r *byteReader) Shape {
+	s := Shape{}
+	nameLen := int(r.next()) % 9
+	name := make([]byte, nameLen)
+	for i := range name {
+		name[i] = r.next()
+	}
+	s.Relation = string(name)
+	s.Node = int(r.next()) % 8
+	s.Group = int(r.next()) % 8
+	s.AtDelta = r.next()&1 == 1
+	s.Compiled = r.next()&1 == 1
+	s.Dirty = decodeInts(r)
+	s.DeltaInputs = decodeInts(r)
+	switch r.next() % 3 {
+	case 0:
+		s.SemiJoin = nil
+	case 1:
+		s.SemiJoin = [][]int64{}
+	default:
+		n := int(r.next()) % 4
+		s.SemiJoin = make([][]int64, n)
+		for i := range s.SemiJoin {
+			switch r.next() % 3 {
+			case 0:
+				s.SemiJoin[i] = nil
+			case 1:
+				s.SemiJoin[i] = []int64{}
+			default:
+				m := int(r.next()) % 4
+				inner := make([]int64, m)
+				for j := range inner {
+					inner[j] = int64(r.next()) % 64
+				}
+				s.SemiJoin[i] = inner
+			}
+		}
+	}
+	return s
+}
+
+// FuzzShapeKey checks the cache key's defining property on random shape
+// pairs: equal shapes produce equal keys and distinct shapes never collide —
+// a collision would silently hand maintenance a kernel compiled for a
+// different plan shape.
+func FuzzShapeKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 'I', 't', 'e', 'm', 's', 1, 2, 1, 0, 2, 3, 1, 2, 3, 0, 2, 2, 2, 2, 7, 0})
+	f.Add([]byte{3, 'a', '|', '"', 0, 0, 0, 1, 1, 0, 2, 1, 1, 2, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 2, 2, 0, 0, 1, 2, 1, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{data: data}
+		s1 := decodeShape(r)
+		s2 := decodeShape(r)
+		k1, k2 := s1.Key(), s2.Key()
+		if k1 != s1.Key() {
+			t.Fatalf("Key not deterministic for %+v", s1)
+		}
+		if eq := reflect.DeepEqual(s1, s2); eq != (k1 == k2) {
+			t.Fatalf("key equality %v but shape equality %v:\ns1=%+v k1=%q\ns2=%+v k2=%q",
+				k1 == k2, eq, s1, k1, s2, k2)
+		}
+	})
+}

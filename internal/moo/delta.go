@@ -38,6 +38,14 @@ type ApplyStats struct {
 	// scanned their full base relation. At-delta groups are in neither.
 	SemiJoinGroups int
 	FullScanGroups int
+	// KernelGroups counts dirty groups executed through compiled maintenance
+	// kernels (Options.CompiledKernels); IDScanGroups of those ran a
+	// restricted scan driven by a row-id batch — semi-join probes resolved
+	// against the engine's persistent sorted copy of the base, the matched
+	// positions walked through id indirection — instead of gathering and
+	// re-sorting a subset copy per group.
+	KernelGroups int
+	IDScanGroups int
 	// ScannedRows totals the base rows actually scanned at unchanged dirty
 	// nodes; BaseRows what a full-scan maintenance pass would have scanned.
 	ScannedRows int
@@ -122,10 +130,28 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 	scanStart := time.Now()
 	work := append([]*ViewData(nil), prev.Materialized...)
 	deltas := make([]*ViewData, len(plan.Views))
+	var sc *scanCache
+	if e.opts.CompiledKernels {
+		// Shared across every kernel of this Apply round: sorted delta blocks
+		// and semi-join row-id batches. Never outlives the round.
+		sc = newScanCache()
+	}
 	for _, st := range sched.Steps {
 		sub := &core.Group{ID: st.Group, Node: st.Node, Views: st.Dirty}
+		var kn *maintKernel
+		if e.opts.CompiledKernels {
+			if kn, err = e.kernelFor(plan, d.Relation, st); err != nil {
+				return nil, nil, err
+			}
+		}
 		if st.AtDelta {
-			ins, del, err := e.runDeltaScans(plan, sub, work, insRel, delRel)
+			var ins, del []*ViewData
+			if kn != nil {
+				stats.KernelGroups++
+				ins, del, err = kn.runDeltaScans(sc, work, insRel, delRel)
+			} else {
+				ins, del, err = e.runDeltaScans(plan, sub, work, insRel, delRel)
+			}
 			if err != nil {
 				return nil, nil, err
 			}
@@ -149,30 +175,58 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 				}
 			} else {
 				scratch := append([]*ViewData(nil), work...)
-				gp, err := e.compileGroupCached(plan, sub)
-				if err != nil {
-					return nil, nil, err
-				}
-				// Semi-join restriction: scan only the base rows joining the
-				// delta's keys (nil override = full base scan).
 				stepRel := e.tree.Nodes[st.Node].Rel
-				var relOverride *data.Relation
-				if e.opts.SemiJoin && st.SemiJoinAttrs != nil {
-					relOverride, err = e.semiJoinSubset(stepRel, st, deltas)
+				stats.BaseRows += stepRel.Len()
+				if kn != nil {
+					// Kernel path: row-id-batched restricted scan when the
+					// semi-join plan applies, full scan of the cached sorted
+					// base otherwise — same row order as the interpreted path.
+					// The row-id batch is shared across kernels via sc.
+					stats.KernelGroups++
+					var se *subsetEntry
+					if e.opts.SemiJoin && st.SemiJoinAttrs != nil {
+						se, err = sc.subsetFor(kn, stepRel, deltas)
+						if err != nil {
+							return nil, nil, err
+						}
+					}
+					if se != nil && !se.fallback {
+						stats.SemiJoinGroups++
+						stats.IDScanGroups++
+						stats.ScannedRows += se.total
+						err = kn.runIDBatch(e, sc, scratch, stepRel, se)
+					} else {
+						stats.FullScanGroups++
+						stats.ScannedRows += stepRel.Len()
+						err = kn.runFull(e, scratch, stepRel)
+					}
 					if err != nil {
 						return nil, nil, err
 					}
-				}
-				if relOverride != nil {
-					stats.SemiJoinGroups++
-					stats.ScannedRows += relOverride.Len()
 				} else {
-					stats.FullScanGroups++
-					stats.ScannedRows += stepRel.Len()
-				}
-				stats.BaseRows += stepRel.Len()
-				if err := e.execGroup(gp, scratch, relOverride, false); err != nil {
-					return nil, nil, err
+					gp, err := e.compileGroupCached(plan, sub)
+					if err != nil {
+						return nil, nil, err
+					}
+					// Semi-join restriction: scan only the base rows joining
+					// the delta's keys (nil override = full base scan).
+					var relOverride *data.Relation
+					if e.opts.SemiJoin && st.SemiJoinAttrs != nil {
+						relOverride, err = e.semiJoinSubset(stepRel, st, deltas)
+						if err != nil {
+							return nil, nil, err
+						}
+					}
+					if relOverride != nil {
+						stats.SemiJoinGroups++
+						stats.ScannedRows += relOverride.Len()
+					} else {
+						stats.FullScanGroups++
+						stats.ScannedRows += stepRel.Len()
+					}
+					if err := e.execGroup(gp, scratch, relOverride, false); err != nil {
+						return nil, nil, err
+					}
 				}
 				for _, vid := range st.Dirty {
 					deltas[vid] = scratch[vid]

@@ -12,6 +12,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/ivm"
 	"repro/internal/jointree"
+	"repro/internal/kernel"
 	"repro/internal/query"
 )
 
@@ -44,6 +45,18 @@ type Options struct {
 	// unaffected. Off, Apply reproduces the full-scan maintenance of the
 	// pre-semi-join engine — the ablation baseline for the -update bench.
 	SemiJoin bool
+	// CompiledKernels routes Apply's maintenance steps through compiled
+	// per-(node, delta-relation) kernels: each step's group loop is
+	// specialized once — attribute offsets, semi-join probe positions and
+	// aggregate combine closures resolved at plan time — cached by plan
+	// shape (internal/kernel) and reused with its scan state across deltas.
+	// Restricted scans run row-id-batched against the unsorted base relation
+	// (no subset materialization). Off, every step re-resolves its scan
+	// state per Apply. Single-threaded scans are bit-exact across the two
+	// modes — both visit rows in the same stably-sorted order (restricted
+	// subsets large enough for domain parallelism may reassociate float
+	// sums, like any Threads > 1 configuration). Run is unaffected.
+	CompiledKernels bool
 }
 
 // DefaultOptions enables all optimizations with the paper's four threads
@@ -60,6 +73,7 @@ func DefaultOptions() Options {
 		Threads:            t,
 		DomainParallelRows: 65536,
 		SemiJoin:           true,
+		CompiledKernels:    true,
 	}
 }
 
@@ -83,11 +97,18 @@ type Engine struct {
 	// uncached: a compiled plan carries per-execution state (the bound scan
 	// relation), so sharing is only safe on the single-threaded Apply path.
 	gpCache map[string]*groupPlan
+	// kernels caches compiled maintenance kernels (Options.CompiledKernels)
+	// keyed by plan identity plus kernel.Shape — the same single-writer
+	// Apply-path contract as gpCache, since each kernel carries bound scan
+	// state and a reusable execution context.
+	kernels *kernel.Cache
 }
 
 // sortEntry is a cached sorted copy of a base relation; version pins the
 // relation content it was built from, so in-place base mutations (deltas)
-// invalidate it.
+// invalidate it. The copy's own caches (join-key indexes, distinct counts)
+// persist with it — compiled kernels lean on that to resolve semi-join
+// probes against the sorted copy across Apply calls.
 type sortEntry struct {
 	version int64
 	rel     *data.Relation
@@ -113,8 +134,14 @@ func NewEngineWithTree(db *data.Database, tree *jointree.Tree, opts Options) *En
 		opts.DomainParallelRows = 65536
 	}
 	return &Engine{db: db, tree: tree, opts: opts,
-		sortCache: map[string]sortEntry{}, gpCache: map[string]*groupPlan{}}
+		sortCache: map[string]sortEntry{}, gpCache: map[string]*groupPlan{},
+		kernels: kernel.NewCache()}
 }
+
+// KernelCacheStats reports the compiled-maintenance-kernel cache's hit/miss
+// counters and size (zero-valued while Options.CompiledKernels is off or no
+// Apply has run).
+func (e *Engine) KernelCacheStats() kernel.CacheStats { return e.kernels.Stats() }
 
 // DB returns the engine's database.
 func (e *Engine) DB() *data.Database { return e.db }
@@ -397,7 +424,8 @@ func (e *Engine) runDomainParallel(gp *groupPlan, produced []*ViewData, n int, s
 }
 
 // sortedRel returns rel sorted by order, using the base relation when
-// already compatible and caching sorted copies otherwise.
+// already compatible and caching sorted copies otherwise. The entry persists
+// across Apply calls until the base relation's version changes.
 func (e *Engine) sortedRel(rel *data.Relation, order []data.AttrID) (*data.Relation, error) {
 	if len(order) == 0 || rel.SortedBy(order) {
 		return rel, nil

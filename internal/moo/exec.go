@@ -11,6 +11,12 @@ type execCtx struct {
 	gp        *groupPlan
 	inViews   []*ViewData // materialized inputs, parallel to gp.inputs
 	orderCols [][]int64
+	// ids, when non-nil, indirects the scan: position i reads physical row
+	// ids[i] of gp.rel, and [lo, hi) ranges index into ids. The ids must be
+	// sorted by the order-attribute values (data.Relation.SortIDsBy), which
+	// makes the trie-style range walk valid against an unsorted relation —
+	// the row-id-batched restricted scan of compiled maintenance kernels.
+	ids []int32
 
 	curVals    []int64     // bound order-attribute values
 	slotVals   [][]float64 // [d][slot]
@@ -83,6 +89,31 @@ func newExecCtx(gp *groupPlan, produced []*ViewData, scalarInit bool) (*execCtx,
 	return c, nil
 }
 
+// reset rebinds the context for another execution of the same group plan —
+// the kernel path's alternative to reallocating a context per Apply. Input
+// views and order columns are re-resolved (the plan-shape-dependent slot,
+// running-sum and bind arrays keep their storage: scan re-zeroes R/P levels
+// on entry and rebinds inputs before any read), builders start fresh, and
+// the id indirection is cleared until the caller installs one.
+func (c *execCtx) reset(produced []*ViewData, scalarInit bool) error {
+	gp := c.gp
+	for i, in := range gp.inputs {
+		vd := produced[in.id]
+		if vd == nil {
+			return fmt.Errorf("moo: input view %d of group %d not yet produced", in.id, gp.group.ID)
+		}
+		c.inViews[i] = vd
+	}
+	for d, a := range gp.order {
+		c.orderCols[d] = gp.rel.MustCol(a).Ints
+	}
+	c.ids = nil
+	for i, v := range gp.views {
+		c.builders[i] = newViewBuilder(v.GroupBy, len(v.Cols), scalarInit && v.IsOutput())
+	}
+	return nil
+}
+
 // run executes the scan over rows [lo, hi) of the group relation and then
 // performs the scalar (no group-by) emissions.
 func (c *execCtx) run(lo, hi int) {
@@ -111,8 +142,14 @@ func (c *execCtx) scan(d, lo, hi int) {
 	}
 	col := c.orderCols[d]
 	for lo < hi {
-		end := data.RangeEnd(col, lo, hi)
-		c.curVals[d] = col[lo]
+		var end int
+		if c.ids == nil {
+			end = data.RangeEnd(col, lo, hi)
+			c.curVals[d] = col[lo]
+		} else {
+			end = data.RangeEndIDs(col, c.ids, lo, hi)
+			c.curVals[d] = col[c.ids[lo]]
+		}
 		for _, ii := range gp.bindAt[d] {
 			c.bindInput(ii)
 		}
@@ -213,16 +250,30 @@ func (c *execCtx) computeLeaf(lo, hi int) {
 			continue
 		}
 		sum := 0.0
-		if ls.rowFn != nil {
+		switch {
+		case ls.rowFn != nil && c.ids == nil:
 			fn := ls.rowFn
 			for r := lo; r < hi; r++ {
 				sum += fn(r)
 			}
-		} else {
+		case ls.rowFn != nil:
+			fn := ls.rowFn
+			for r := lo; r < hi; r++ {
+				sum += fn(int(c.ids[r]))
+			}
+		case c.ids == nil:
 			for r := lo; r < hi; r++ {
 				p := 1.0
 				for j := range ls.factors {
 					p *= ls.factors[j].Eval(ls.cols[j].Float(r))
+				}
+				sum += p
+			}
+		default:
+			for r := lo; r < hi; r++ {
+				p := 1.0
+				for j := range ls.factors {
+					p *= ls.factors[j].Eval(ls.cols[j].Float(int(c.ids[r])))
 				}
 				sum += p
 			}

@@ -1,0 +1,424 @@
+package moo
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ivm"
+	"repro/internal/kernel"
+)
+
+// Compiled maintenance kernels (Options.CompiledKernels). Each kernel
+// specializes one ivm schedule step for one (join-tree node, delta relation)
+// pair: the step's multi-output group loop is compiled once, its semi-join
+// probe positions are resolved once against the plan's view metadata, and a
+// reusable execution context keeps the scan's slot/running-sum arrays and
+// the composed leaf closures alive across Apply calls — the interpreted path
+// re-derives all of that per delta. Kernels are cached per engine, keyed by
+// plan identity plus the injective kernel.Shape encoding, so a cache hit can
+// never return a kernel compiled for a different plan shape.
+//
+// Restricted scans run row-id-batched: the semi-join candidate row ids are
+// gathered once per (relation, semi-join signature) and shared across every
+// kernel of the Apply round through a scanCache — the interpreted path
+// re-probes, re-gathers and re-sorts the same subset once per group. The
+// batch is kept as its defining probe set; each kernel resolves it against
+// the join-key index of the engine's persistent per-order sorted copy of the
+// base and walks the matched positions ascending through the id indirection
+// (execCtx.ids): a restricted scan over an unchanged base costs one integer
+// sort, never a gather, stable sort or subset copy. Sorted
+// copies of large at-delta tuple blocks are shared per scan order the same
+// way; small blocks run the indirection against the unsorted block directly.
+//
+// Every strategy visits rows in the same stable order as the interpreted
+// path — selecting a subset of a stably sorted sequence, like stably sorting
+// the ascending ids directly, preserves the ascending-id order within equal
+// keys — so aggregate accumulation, and therefore every output bit, is
+// identical; the differential oracle (internal/oracletest) enforces this
+// with kernels on and off.
+
+// maintKernel is the compiled kernel for one maintenance step. It carries
+// mutable scan state (bound relation, execution context, id buffer) and is
+// therefore bound to the engine's single-writer Apply path, like gpCache.
+type maintKernel struct {
+	gp *groupPlan
+	st ivm.Step
+	// probePos[i] holds, for delta input st.DeltaInputs[i], the positions of
+	// the semi-join probe attributes in that view's group-by — resolved at
+	// compile time from the logical plan instead of per Apply.
+	probePos [][]int
+
+	// boundRel/boundVer pin the relation the leaf closures were composed
+	// against; rebinding only happens when the scan target changes. For
+	// unchanged-node steps over a stable base relation the composition
+	// happens exactly once across the whole delta stream.
+	boundRel *data.Relation
+	boundVer int64
+	ctx      *execCtx
+	idbuf    []int32
+}
+
+// kernelFor returns the compiled kernel for step st of the given plan and
+// delta relation, compiling and caching it on first use.
+func (e *Engine) kernelFor(plan *core.Plan, relation string, st ivm.Step) (*maintKernel, error) {
+	shape := kernel.Shape{
+		Relation:    relation,
+		Node:        st.Node,
+		Group:       st.Group,
+		AtDelta:     st.AtDelta,
+		Compiled:    e.opts.Compiled,
+		Dirty:       st.Dirty,
+		DeltaInputs: st.DeltaInputs,
+	}
+	if st.SemiJoinAttrs != nil {
+		shape.SemiJoin = make([][]int64, len(st.SemiJoinAttrs))
+		for i, attrs := range st.SemiJoinAttrs {
+			if attrs == nil {
+				continue
+			}
+			inner := make([]int64, len(attrs))
+			for j, a := range attrs {
+				inner[j] = int64(a)
+			}
+			shape.SemiJoin[i] = inner
+		}
+	}
+	key := fmt.Sprintf("%p|", plan) + shape.Key()
+	if v, ok := e.kernels.Get(key); ok {
+		return v.(*maintKernel), nil
+	}
+	sub := &core.Group{ID: st.Group, Node: st.Node, Views: st.Dirty}
+	gp, err := compileGroup(plan, sub, e.opts.Compiled)
+	if err != nil {
+		return nil, err
+	}
+	k := &maintKernel{gp: gp, st: st}
+	if st.SemiJoinAttrs != nil {
+		k.probePos = make([][]int, len(st.DeltaInputs))
+		for i, in := range st.DeltaInputs {
+			attrs := st.SemiJoinAttrs[i]
+			groupBy := plan.Views[in].GroupBy
+			pos := make([]int, len(attrs))
+			for j, a := range attrs {
+				p := -1
+				for gi, g := range groupBy {
+					if g == a {
+						p = gi
+						break
+					}
+				}
+				if p < 0 {
+					return nil, fmt.Errorf("moo: delta view %d lacks semi-join attribute %d", in, a)
+				}
+				pos[j] = p
+			}
+			k.probePos[i] = pos
+		}
+	}
+	e.kernels.Put(key, k)
+	return k, nil
+}
+
+// bind points the kernel at a scan relation, recomposing the leaf closures
+// only when the target (or its content version) changed since the last run.
+func (k *maintKernel) bind(rel *data.Relation) {
+	ver := rel.Version()
+	if k.boundRel == rel && k.boundVer == ver {
+		return
+	}
+	k.gp.rel = rel
+	k.gp.resolveLeafCols()
+	k.boundRel, k.boundVer = rel, ver
+}
+
+// runBound executes the bound kernel over n rows (or over ids, when
+// non-nil), finalizing the dirty views into produced. The execution context
+// is reused across calls; builders start fresh each run.
+func (k *maintKernel) runBound(produced []*ViewData, ids []int32, n int) error {
+	if k.ctx == nil || k.ctx.gp != k.gp {
+		ctx, err := newExecCtx(k.gp, produced, false)
+		if err != nil {
+			return err
+		}
+		k.ctx = ctx
+	} else if err := k.ctx.reset(produced, false); err != nil {
+		return err
+	}
+	k.ctx.ids = ids
+	if ids != nil {
+		n = len(ids)
+	}
+	k.ctx.run(0, n)
+	for i, v := range k.gp.views {
+		produced[v.ID] = k.ctx.builders[i].finalize(k.gp.targets[i])
+	}
+	return nil
+}
+
+// idScanMaxRows bounds the pure-indirection scan of at-delta tuple blocks:
+// blocks up to this size are walked through execCtx.ids against the unsorted
+// block (no copies); larger blocks take a per-order sorted copy shared
+// through the scanCache. Both strategies visit rows in the same order, so
+// the cutoff is purely a performance trade: indirection saves the copy,
+// sequential access wins once the aggregate-heavy inner loops re-read
+// columns many times.
+const idScanMaxRows = 256
+
+// scanCache shares scan materializations across the kernels of one Apply
+// round: sorted copies of delta tuple blocks (per scan order) and semi-join
+// row-id batches (per semi-join signature). The interpreted path redoes this
+// work once per group; sharing it is where kernel compilation pays on
+// multi-group plans. The cache lives for a single Apply call on the engine's
+// single-writer path — entries never survive a base-relation mutation.
+type scanCache struct {
+	sorted  map[string]*data.Relation
+	subsets map[string]*subsetEntry
+	// positions memoizes a subset's sorted scan positions per (subset,
+	// sorted copy): kernels at the same node share one scan order, so the
+	// probe resolution and integer sort run once, not per group.
+	positions map[string][]int32
+}
+
+func newScanCache() *scanCache {
+	return &scanCache{
+		sorted:    map[string]*data.Relation{},
+		subsets:   map[string]*subsetEntry{},
+		positions: map[string][]int32{},
+	}
+}
+
+// sortedBlock memoizes rel.SortedCopy(order) per (relation, order) so kernels
+// with the same scan order share one stable sort.
+func (sc *scanCache) sortedBlock(rel *data.Relation, order []data.AttrID) (*data.Relation, error) {
+	key := fmt.Sprintf("%p|%v", rel, order)
+	if s, ok := sc.sorted[key]; ok {
+		return s, nil
+	}
+	s, err := rel.SortedCopy(order)
+	if err != nil {
+		return nil, err
+	}
+	sc.sorted[key] = s
+	return s, nil
+}
+
+// subsetEntry is one shared semi-join row-id batch, kept in probe form: the
+// unique (attrs, key) lookups that select the subset, plus the matched row
+// total. Consumers resolve the probes against the join-key index of whichever
+// sorted copy they scan, so the entry itself is scan-order agnostic.
+type subsetEntry struct {
+	probes   []probeReq
+	total    int  // matched rows across probes (before cross-signature dedup)
+	fallback bool // subset covers most of the relation: callers full-scan
+}
+
+// probeReq is one unique (semi-join attrs, delta key) pair to look up in the
+// scanned relation's join-key index. tag is the canonical form used for
+// dedup and cache keying; key is the raw index lookup key.
+type probeReq struct {
+	attrs []data.AttrID
+	tag   string
+	key   string
+}
+
+// probeSet collects the unique probe pairs of k's step against the current
+// delta views, sorted canonically, plus an unambiguous joined cache key
+// (length-prefixed — raw key bytes may contain any delimiter). The subset a
+// step scans is fully determined by (relation, probe set), so steps whose
+// delta views carry the same join keys — the common case, since every dirty
+// view at a node derives from the same base delta — share one gathered
+// subset regardless of which views they consume.
+func (k *maintKernel) probeSet(deltas []*ViewData) ([]probeReq, string) {
+	var probes []probeReq
+	seen := make(map[string]struct{})
+	var buf []byte
+	for i, in := range k.st.DeltaInputs {
+		dv := deltas[in]
+		if dv == nil || dv.NumRows() == 0 {
+			continue
+		}
+		attrs := k.st.SemiJoinAttrs[i]
+		attrsTag := fmt.Sprintf("%v\x00", attrs)
+		pos := k.probePos[i]
+		for r := 0; r < dv.NumRows(); r++ {
+			buf = buf[:0]
+			for _, p := range pos {
+				buf = data.AppendKey(buf, dv.KeyAt(r, p))
+			}
+			tag := attrsTag + string(buf)
+			if _, dup := seen[tag]; dup {
+				continue
+			}
+			seen[tag] = struct{}{}
+			probes = append(probes, probeReq{attrs: attrs, tag: tag, key: string(buf)})
+		}
+	}
+	slices.SortFunc(probes, func(a, b probeReq) int {
+		switch {
+		case a.tag < b.tag:
+			return -1
+		case a.tag > b.tag:
+			return 1
+		}
+		return 0
+	})
+	var ck []byte
+	for _, p := range probes {
+		ck = append(ck, fmt.Sprintf("%d:", len(p.tag))...)
+		ck = append(ck, p.tag...)
+	}
+	return probes, string(ck)
+}
+
+// subsetFor resolves the shared row-id batch for k's step against rel,
+// probing the join-key index only on the first request per probe set.
+func (sc *scanCache) subsetFor(k *maintKernel, rel *data.Relation, deltas []*ViewData) (*subsetEntry, error) {
+	probes, ckey := k.probeSet(deltas)
+	key := fmt.Sprintf("%p|", rel) + ckey
+	if se, ok := sc.subsets[key]; ok {
+		return se, nil
+	}
+	se, err := gatherIDs(rel, probes)
+	if err != nil {
+		return nil, err
+	}
+	sc.subsets[key] = se
+	return se, nil
+}
+
+// runIDs is the indirect row-id scan: ids (already arranged in the group's
+// scan order for rel) are walked trie-style through execCtx.ids — no subset
+// is gathered or copied.
+func (k *maintKernel) runIDs(produced []*ViewData, rel *data.Relation, ids []int32) error {
+	k.bind(rel)
+	return k.runBound(produced, ids, 0)
+}
+
+// runIDBatch executes the restricted scan over a shared row-id batch against
+// the engine's persistent sorted copy of the base: the batch's probes
+// resolve against the sorted copy's own join-key index (persistent, like the
+// copy) to scan positions, which one integer sort plus a dedup pass put in
+// scan order — no per-delta gather, stable sort or subset copy. Selecting a
+// subset of a stably sorted sequence preserves the relative order stable
+// id-sorting would produce, so the row visit order (and every accumulated
+// bit) matches the interpreted gather-and-sort path exactly.
+func (k *maintKernel) runIDBatch(e *Engine, sc *scanCache, produced []*ViewData, rel *data.Relation, se *subsetEntry) error {
+	sorted, err := e.sortedRel(rel, k.gp.order)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("%p|%p", se, sorted)
+	pos, ok := sc.positions[key]
+	if !ok {
+		pos = make([]int32, 0, se.total)
+		for _, p := range se.probes {
+			ix, err := sorted.KeyIndex(p.attrs)
+			if err != nil {
+				return err
+			}
+			pos = append(pos, ix.Rows(p.key)...)
+		}
+		slices.Sort(pos)
+		// Probes with distinct attr signatures can match the same row; the
+		// scan must visit it once, like the interpreted path's id dedup.
+		uniq := pos[:0]
+		for i, r := range pos {
+			if i == 0 || r != uniq[len(uniq)-1] {
+				uniq = append(uniq, r)
+			}
+		}
+		pos = uniq
+		sc.positions[key] = pos
+	}
+	return k.runIDs(produced, sorted, pos)
+}
+
+// runFull is the unrestricted fallback, scanning the engine's cached sorted
+// copy of the base relation — domain-parallel for large relations, exactly
+// like the interpreted full-scan path.
+func (k *maintKernel) runFull(e *Engine, produced []*ViewData, base *data.Relation) error {
+	sorted, err := e.sortedRel(base, k.gp.order)
+	if err != nil {
+		return err
+	}
+	k.bind(sorted)
+	n := sorted.Len()
+	if e.opts.Threads > 1 && k.gp.L > 0 && n >= e.opts.DomainParallelRows {
+		builders, err := e.runDomainParallel(k.gp, produced, n, false)
+		if err != nil {
+			return err
+		}
+		for i, v := range k.gp.views {
+			produced[v.ID] = builders[i].finalize(k.gp.targets[i])
+		}
+		return nil
+	}
+	return k.runBound(produced, nil, n)
+}
+
+// runDeltaScans evaluates the at-delta kernel over the inserted and deleted
+// tuple blocks (either may be nil) against cached input views.
+func (k *maintKernel) runDeltaScans(sc *scanCache, work []*ViewData, insRel, delRel *data.Relation) (ins, del []*ViewData, err error) {
+	if insRel != nil {
+		ins = append([]*ViewData(nil), work...)
+		if err := k.runDeltaBlock(sc, ins, insRel); err != nil {
+			return nil, nil, err
+		}
+	}
+	if delRel != nil {
+		del = append([]*ViewData(nil), work...)
+		if err := k.runDeltaBlock(sc, del, delRel); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ins, del, nil
+}
+
+// runDeltaBlock scans one delta tuple block. Small blocks run through an
+// identity id permutation stably sorted by the attribute order — the same
+// row sequence a sorted copy would yield, without the copy; larger blocks
+// share a per-order sorted copy with every other kernel at the changed node.
+func (k *maintKernel) runDeltaBlock(sc *scanCache, produced []*ViewData, rel *data.Relation) error {
+	n := rel.Len()
+	if n <= idScanMaxRows {
+		ids := k.idbuf[:0]
+		for i := 0; i < n; i++ {
+			ids = append(ids, int32(i))
+		}
+		k.idbuf = ids
+		if err := rel.SortIDsBy(k.gp.order, ids); err != nil {
+			return err
+		}
+		return k.runIDs(produced, rel, ids)
+	}
+	sorted, err := sc.sortedBlock(rel, k.gp.order)
+	if err != nil {
+		return err
+	}
+	k.bind(sorted)
+	return k.runBound(produced, nil, sorted.Len())
+}
+
+// gatherIDs sizes the probe set against rel's join-key index and decides
+// between the restricted and full-scan strategy. No row ids are materialized
+// here: consumers re-resolve the probes against the sorted copy they scan
+// (runIDBatch), whose own key index persists across Apply calls. fallback is
+// set when the subset would cover most of the relation (same threshold as
+// the interpreted path, counting pre-dedup matches): callers should
+// full-scan instead.
+func gatherIDs(rel *data.Relation, probes []probeReq) (*subsetEntry, error) {
+	total := 0
+	for _, p := range probes {
+		ix, err := rel.KeyIndex(p.attrs)
+		if err != nil {
+			return nil, err
+		}
+		total += len(ix.Rows(p.key))
+	}
+	if 2*total > rel.Len() {
+		return &subsetEntry{fallback: true}, nil
+	}
+	return &subsetEntry{probes: probes, total: total}, nil
+}

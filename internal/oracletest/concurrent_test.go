@@ -41,7 +41,8 @@ func TestConcurrentSnapshotOracle(t *testing.T) {
 			}
 			queries := GenQueries(rng, s)
 			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true,
-				Threads: 1 + int(seed%3), DomainParallelRows: 8, SemiJoin: seed%2 == 0}
+				Threads: 1 + int(seed%3), DomainParallelRows: 8, SemiJoin: seed%2 == 0,
+				CompiledKernels: seed%2 == 1}
 			runConcurrentOracle(t, rng, s, queries, opts, readers, rounds, 6, nil)
 		})
 	}
@@ -59,7 +60,8 @@ func TestConcurrentSnapshotOracleDimensionStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	queries := GenQueries(rng, s)
-	opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 2, SemiJoin: true}
+	opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 2,
+		SemiJoin: true, CompiledKernels: true}
 	var dims []*data.Relation
 	for _, r := range s.DB.Relations() {
 		if r.Name != "F" {

@@ -63,7 +63,8 @@ func TestShardedSessionOracle(t *testing.T) {
 			}
 			queries := GenQueries(rng, s)
 			opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true,
-				Threads: 1 + int(seed%3), DomainParallelRows: 8, SemiJoin: seed%2 == 0, TrackCounts: true}
+				Threads: 1 + int(seed%3), DomainParallelRows: 8, SemiJoin: seed%2 == 0,
+				TrackCounts: true, CompiledKernels: seed%2 == 1}
 
 			clone, err := cloneDatabase(s.DB)
 			if err != nil {
@@ -160,7 +161,8 @@ func TestShardedSessionOracleFactStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	queries := GenQueries(rng, s)
-	opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 2, SemiJoin: true, TrackCounts: true}
+	opts := moo.Options{MultiRoot: true, MultiOutput: true, Compiled: true, Threads: 2,
+		SemiJoin: true, TrackCounts: true, CompiledKernels: true}
 	clone, err := cloneDatabase(s.DB)
 	if err != nil {
 		t.Fatal(err)
