@@ -54,6 +54,9 @@ func main() {
 		apps = flag.Bool("apps", false, "benchmark application re-fit from serving snapshots (1/2/4 shards) vs engine recompute under an update stream (default dataset: retailer; uses -update-frac and -update-batches)")
 
 		kernels = flag.Bool("kernels", false, "benchmark compiled maintenance kernels vs interpreted maintenance vs recompute (default dataset: retailer; uses -update-frac and -update-batches; writes BENCH_kernels.json unless -bench-json overrides)")
+
+		walMode    = flag.Bool("wal", false, "benchmark WAL-logged vs unlogged maintenance and recovery time vs log-suffix length (default dataset: retailer; uses -update-frac; writes BENCH_wal.json unless -bench-json overrides)")
+		walBatches = flag.Int("wal-batches", 32, "update batches for the -wal logged-vs-unlogged stream")
 	)
 	flag.Parse()
 
@@ -101,6 +104,30 @@ func main() {
 		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
 		if err := h.updateBench(updateDatasets(*datasets), *updateFrac, *updateRel, *updateBatches); err != nil {
 			fmt.Fprintf(os.Stderr, "lmfao-bench: update: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *walMode {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			// Log overhead only means something against non-toy maintenance
+			// work; match the maintenance-bench scale.
+			*scale = 0.01
+		}
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_wal.json"
+		}
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.walBench(updateDatasets(*datasets), *updateFrac, *walBatches, path); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: wal: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	lmfao "repro"
+	"repro/internal/datagen"
+	"repro/internal/workloads"
+)
+
+// walBench measures what durability costs: the same covar-batch delta stream
+// is maintained by an unlogged Session and by a DurableSession (WAL append +
+// fsync on every commit, automatic checkpoints disabled so the timing
+// isolates the log), and the per-batch overhead ratio is reported — the
+// acceptance bar is <2x on the retailer 1%-delta stream. A second sweep
+// measures restart cost: sessions are killed after k batches past their last
+// checkpoint and RecoverSession is timed, so recovery time can be read
+// against the replayed log-suffix length. Results go to stdout and, as JSON,
+// to jsonPath.
+func (h *harness) walBench(names []string, frac float64, batches int, jsonPath string) error {
+	fmt.Printf("\nWAL-logged vs unlogged maintenance (covar batch, delta = %.2g of relation, %d update batches, fsync every commit)\n",
+		frac, batches)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\trelation\t+rows\t-rows\tunlogged\tlogged\toverhead")
+
+	type recResult struct {
+		SuffixLen   int     `json:"suffix_len"`
+		RecoveredTo uint64  `json:"recovered_lsn"`
+		RecoverMS   float64 `json:"recover_ms"`
+	}
+	type benchResult struct {
+		Dataset    string      `json:"dataset"`
+		Scale      float64     `json:"scale"`
+		Frac       float64     `json:"frac"`
+		Batches    int         `json:"batches"`
+		Relation   string      `json:"relation"`
+		InsRows    int         `json:"ins_rows"`
+		DelRows    int         `json:"del_rows"`
+		UnloggedMS float64     `json:"unlogged_ms_per_batch"`
+		LoggedMS   float64     `json:"logged_ms_per_batch"`
+		Overhead   float64     `json:"logged_vs_unlogged"`
+		Recovery   []recResult `json:"recovery"`
+	}
+
+	var results []benchResult
+	for _, name := range names {
+		// Each maintainer mutates its database through Apply, so the two
+		// streams need independent but identical builds (datagen is
+		// deterministic under a fixed config).
+		build, err := datagen.ByName(name)
+		if err != nil {
+			return err
+		}
+		fresh := func() (*datagen.Dataset, error) {
+			return build(datagen.Config{Scale: h.scale, Seed: h.seed})
+		}
+		dsPlain, err := fresh()
+		if err != nil {
+			return err
+		}
+		dsLogged, err := fresh()
+		if err != nil {
+			return err
+		}
+		queries := workloads.CovarMatrix(dsPlain)
+		opts := h.options()
+		rel := largestRelation(dsPlain.DB)
+
+		plain, err := lmfao.NewSession(dsPlain.DB, queries, opts)
+		if err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "lmfao-wal-bench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		// Automatic checkpoints off: the overhead measured is the log itself
+		// (append + fsync per commit), not checkpoint amortization policy.
+		dopts := lmfao.DurableOptions{CheckpointEvery: -1, SyncEvery: 1}
+		logged, err := lmfao.NewDurableSession(dsLogged.DB, workloads.CovarMatrix(dsLogged), opts, dopts, dir)
+		if err != nil {
+			return err
+		}
+		if _, err := plain.Run(); err != nil {
+			return err
+		}
+		if _, err := logged.Run(); err != nil {
+			return err
+		}
+
+		res := benchResult{Dataset: name, Scale: h.scale, Frac: frac, Batches: batches, Relation: rel.Name}
+		rng := rand.New(rand.NewSource(h.seed))
+
+		// One untimed warm-up batch (plan compilation, join-key indexes).
+		warm := randomDelta(rng, dsPlain.DB.Relation(rel.Name), frac)
+		if _, err := plain.Apply(warm); err != nil {
+			return fmt.Errorf("%s: warm-up: %w", name, err)
+		}
+		if _, err := logged.Apply(warm); err != nil {
+			return fmt.Errorf("%s: warm-up: %w", name, err)
+		}
+
+		var plainTotal, loggedTotal time.Duration
+		for b := 0; b < batches; b++ {
+			// Generated against the unlogged db's live state; the logged db
+			// evolves identically under the same stream, so deletes match.
+			delta := randomDelta(rng, dsPlain.DB.Relation(rel.Name), frac)
+			res.InsRows += delta.InsertRows()
+			res.DelRows += delta.DeleteRows()
+
+			doPlain := func() error {
+				start := time.Now()
+				if _, err := plain.Apply(delta); err != nil {
+					return fmt.Errorf("%s: unlogged apply: %w", name, err)
+				}
+				plainTotal += time.Since(start)
+				return nil
+			}
+			doLogged := func() error {
+				start := time.Now()
+				if _, err := logged.Apply(delta); err != nil {
+					return fmt.Errorf("%s: logged apply: %w", name, err)
+				}
+				loggedTotal += time.Since(start)
+				return nil
+			}
+			// Alternate which maintainer is timed first so cold-cache bias
+			// does not always land on the same one.
+			first, second := doPlain, doLogged
+			if b%2 == 1 {
+				first, second = doLogged, doPlain
+			}
+			if err := first(); err != nil {
+				return err
+			}
+			if err := second(); err != nil {
+				return err
+			}
+		}
+		plain.Close()
+		logged.Close()
+
+		res.UnloggedMS = float64(plainTotal.Microseconds()) / float64(batches) / 1000
+		res.LoggedMS = float64(loggedTotal.Microseconds()) / float64(batches) / 1000
+		res.Overhead = float64(loggedTotal) / float64(plainTotal)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%s\t%.2fx\n",
+			name, rel.Name, res.InsRows, res.DelRows,
+			fmtDur(plainTotal/time.Duration(batches)),
+			fmtDur(loggedTotal/time.Duration(batches)),
+			res.Overhead)
+
+		// Recovery time vs replayed suffix length: kill k batches past the
+		// last checkpoint (the one Run writes) and time RecoverSession —
+		// checkpoint restore plus k replayed records. k=0 is the floor.
+		for _, k := range []int{0, 8, 16, 32} {
+			rr, err := h.walRecoveryPoint(fresh, opts, frac, k)
+			if err != nil {
+				return fmt.Errorf("%s: recovery k=%d: %w", name, k, err)
+			}
+			res.Recovery = append(res.Recovery, recResult{
+				SuffixLen: k, RecoveredTo: rr.lsn,
+				RecoverMS: float64(rr.elapsed.Microseconds()) / 1000,
+			})
+		}
+		results = append(results, res)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nRecovery time vs replayed log-suffix length (checkpoint restore + k records)\n")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\tsuffix\trecovered LSN\trecovery")
+	for _, res := range results {
+		for _, rr := range res.Recovery {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.1fms\n", res.Dataset, rr.SuffixLen, rr.RecoveredTo, rr.RecoverMS)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+type walRecovery struct {
+	lsn     uint64
+	elapsed time.Duration
+}
+
+// walRecoveryPoint runs a durable session k batches past its initial
+// checkpoint, kills it, and times RecoverSession over a pristine rebuild of
+// the same dataset.
+func (h *harness) walRecoveryPoint(fresh func() (*datagen.Dataset, error), opts lmfao.Options, frac float64, k int) (walRecovery, error) {
+	ds, err := fresh()
+	if err != nil {
+		return walRecovery{}, err
+	}
+	queries := workloads.CovarMatrix(ds)
+	rel := largestRelation(ds.DB)
+	dir, err := os.MkdirTemp("", "lmfao-wal-recover")
+	if err != nil {
+		return walRecovery{}, err
+	}
+	defer os.RemoveAll(dir)
+	dopts := lmfao.DurableOptions{CheckpointEvery: -1, SyncEvery: 1}
+	sess, err := lmfao.NewDurableSession(ds.DB, queries, opts, dopts, dir)
+	if err != nil {
+		return walRecovery{}, err
+	}
+	if _, err := sess.Run(); err != nil {
+		return walRecovery{}, err
+	}
+	rng := rand.New(rand.NewSource(h.seed + 1))
+	for b := 0; b < k; b++ {
+		delta := randomDelta(rng, ds.DB.Relation(rel.Name), frac)
+		if _, err := sess.Apply(delta); err != nil {
+			return walRecovery{}, err
+		}
+	}
+	sess.Kill()
+
+	pristine, err := fresh()
+	if err != nil {
+		return walRecovery{}, err
+	}
+	start := time.Now()
+	rec, err := lmfao.RecoverSession(dir, pristine.DB, workloads.CovarMatrix(pristine), opts, dopts)
+	if err != nil {
+		return walRecovery{}, err
+	}
+	elapsed := time.Since(start)
+	lsn := rec.LastLSN()
+	rec.Close()
+	return walRecovery{lsn: lsn, elapsed: elapsed}, nil
+}
+
+// largestRelation picks the dataset's biggest relation — the fact table,
+// where a fractional delta stream is most representative.
+func largestRelation(db *lmfao.Database) *lmfao.Relation {
+	var best *lmfao.Relation
+	for _, r := range db.Relations() {
+		if best == nil || r.Len() > best.Len() {
+			best = r
+		}
+	}
+	return best
+}

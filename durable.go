@@ -1,0 +1,527 @@
+package lmfao
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ivm"
+	"repro/internal/moo"
+	"repro/internal/wal"
+)
+
+// DurableOptions configure the write-ahead logging and checkpointing of a
+// DurableSession. The zero value is a sound production default:
+// fsync-on-commit, a checkpoint every DefaultCheckpointEvery updates, two
+// checkpoints retained.
+type DurableOptions struct {
+	// CheckpointEvery checkpoints after this many logged updates (0 =
+	// DefaultCheckpointEvery; negative disables automatic checkpoints —
+	// Close and explicit Checkpoint calls still write them). Recovery
+	// replays at most this many log records, so it bounds restart time.
+	CheckpointEvery int
+	// CheckpointKeep is how many recent checkpoints to retain (minimum and
+	// default 2: the newest plus one fallback in case the newest is torn).
+	CheckpointKeep int
+	// SegmentBytes is the WAL segment rotation bound (see wal.Options).
+	SegmentBytes int64
+	// SyncEvery is the WAL fsync cadence (see wal.Options; 1 = every
+	// commit, the default).
+	SyncEvery int
+}
+
+// DefaultCheckpointEvery is the automatic checkpoint interval, in logged
+// updates, used when DurableOptions.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 256
+
+func (o DurableOptions) norm() DurableOptions {
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if o.CheckpointKeep < 2 {
+		o.CheckpointKeep = 2
+	}
+	return o
+}
+
+func (o DurableOptions) walOptions() wal.Options {
+	return wal.Options{SegmentBytes: o.SegmentBytes, SyncEvery: o.SyncEvery}
+}
+
+func walDir(dir string) string  { return filepath.Join(dir, "wal") }
+func ckptDir(dir string) string { return filepath.Join(dir, "checkpoint") }
+
+// DurableSession is a Session whose maintained state survives process
+// death: every update is appended to a write-ahead log (internal/wal) and
+// fsynced BEFORE it mutates the session, and the full maintained state —
+// base relations, materialized view DAG, version vector — is checkpointed
+// on a configurable interval. After a crash, RecoverSession rebuilds the
+// identical session from the newest valid checkpoint plus a replay of the
+// log suffix through the normal Apply path; the kill-and-recover oracle in
+// internal/oracletest proves the recovered state bit-exact against an
+// uninterrupted twin at arbitrary crash points.
+//
+// DurableSession implements Maintainer. All maintenance calls funnel
+// through one worker goroutine, which owns the log-one/apply-one
+// interleaving invariant: the durable log is always exactly the sequence of
+// updates the session attempted, in order, so replay reproduces the live
+// apply sequence verbatim. Reads are untouched: Snapshot/Head are the
+// wrapped Session's lock-free snapshot publication.
+//
+// A WAL write failure (a real I/O error, or an injected crash in tests)
+// wedges the session: the failed update was not made durable and is not
+// applied, and every later maintenance call returns the same error. Recover
+// from the directory; the in-memory session is disposable by design.
+type DurableSession struct {
+	sess *Session
+	log  *wal.Log
+	dir  string
+	opts DurableOptions
+
+	jobs    chan *durableJob
+	worker  sync.WaitGroup
+	pending sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	// Worker-private state.
+	sinceCkpt int
+	wedged    error
+
+	// failCkpt arms the pre-fsync checkpoint crash point (testing).
+	failCkpt atomic.Bool
+}
+
+// durableJob is one maintenance call routed to the worker: an update batch,
+// a forced full Run, or a forced checkpoint.
+type durableJob struct {
+	updates []Update
+	run     bool
+	ckpt    bool
+	ch      chan ApplyResult
+}
+
+// NewDurableSession builds a maintained session over db whose updates are
+// write-ahead logged under dir (created if missing; must not already hold
+// durable session state — use RecoverSession for that). The database is
+// adopted like NewSession's: the session owns it for its lifetime. Call Run
+// once to materialize and write the initial checkpoint, then stream updates
+// through Apply/ApplyAsync.
+func NewDurableSession(db *Database, queries []*Query, opts Options, dopts DurableOptions, dir string) (*DurableSession, error) {
+	dopts = dopts.norm()
+	log, err := wal.Open(walDir(dir), dopts.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	ck, err := wal.LatestCheckpoint(ckptDir(dir))
+	if err != nil {
+		log.Abort()
+		return nil, err
+	}
+	if log.LastLSN() > 0 || ck != nil {
+		log.Abort()
+		return nil, fmt.Errorf("lmfao: %s already holds durable session state; use RecoverSession", dir)
+	}
+	sess, err := NewSession(db, queries, opts)
+	if err != nil {
+		log.Abort()
+		return nil, err
+	}
+	d := &DurableSession{sess: sess, log: log, dir: dir, opts: dopts}
+	d.start()
+	return d, nil
+}
+
+// RecoverSession rebuilds a durable session from dir after a crash or a
+// clean Close. The caller supplies the PRISTINE initial state — the same
+// database contents, query batch and options the session was originally
+// created with (the pristine-database contract): the plan is rebuilt over
+// the pristine base statistics, which pins it to the exact plan the
+// checkpointed views were materialized under, before the checkpoint's
+// relation contents are restored in place. The WAL is opened (truncating
+// any torn or corrupt tail to the last committed prefix) and the records
+// past the checkpoint replay through the normal Apply path, one update per
+// record — the same call sequence the original session executed. With no
+// valid checkpoint the session recomputes from the pristine base and
+// replays the whole log.
+func RecoverSession(dir string, db *Database, queries []*Query, opts Options, dopts DurableOptions) (*DurableSession, error) {
+	dopts = dopts.norm()
+	sess, err := NewSession(db, queries, opts)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := wal.LatestCheckpoint(ckptDir(dir))
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(walDir(dir), dopts.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	var after uint64
+	if ck != nil {
+		if err := restoreCheckpoint(sess, queries, ck); err != nil {
+			log.Abort()
+			return nil, err
+		}
+		after = ck.LSN
+		log.AdvanceLSN(ck.LSN)
+	} else if _, err := sess.Run(); err != nil {
+		log.Abort()
+		return nil, err
+	}
+	replayed := 0
+	err = log.Replay(after, func(rec wal.Record) error {
+		replayed++
+		// An apply error here is the deterministic re-play of a failure the
+		// live session already saw and continued past (its later rounds kept
+		// logging), so replay continues to the next record just as the live
+		// stream did.
+		_, _ = sess.Apply(rec.Delta)
+		return nil
+	})
+	if err != nil {
+		log.Abort()
+		return nil, err
+	}
+	d := &DurableSession{sess: sess, log: log, dir: dir, opts: dopts, sinceCkpt: replayed}
+	d.start()
+	return d, nil
+}
+
+// restoreCheckpoint installs ck onto a freshly built session over the
+// pristine database: plan first (over pristine statistics), then relation
+// contents, then the checkpointed view DAG published as the session's
+// current result.
+func restoreCheckpoint(sess *Session, queries []*Query, ck *wal.Checkpoint) error {
+	plan, err := sess.eng.PlanBatch(queries)
+	if err != nil {
+		return err
+	}
+	if len(ck.Views) != len(plan.Views) {
+		return fmt.Errorf("lmfao: checkpoint holds %d views but the plan builds %d — recover with the session's original queries and options", len(ck.Views), len(plan.Views))
+	}
+	// Guard plan identity view-by-view: a checkpoint written under a
+	// different plan must fail loudly here, not restore views whose layout
+	// the maintenance code would silently misinterpret.
+	for i, v := range ck.Views {
+		if v == nil {
+			continue
+		}
+		pg := plan.Views[i].GroupBy
+		vg := v.GroupBy
+		if len(pg) != len(vg) {
+			return fmt.Errorf("lmfao: checkpoint view %d groups by %v but the plan expects %v", i, vg, pg)
+		}
+		for c := range pg {
+			if pg[c] != vg[c] {
+				return fmt.Errorf("lmfao: checkpoint view %d groups by %v but the plan expects %v", i, vg, pg)
+			}
+		}
+	}
+	db := sess.eng.DB()
+	tree := sess.eng.Tree()
+	restored := make(map[string]bool, len(ck.Relations))
+	for _, rs := range ck.Relations {
+		rel := db.Relation(rs.Name)
+		if rel == nil {
+			// Materialized hypertree bags are join-tree relations, not
+			// database ones.
+			if node := tree.NodeByRelation(rs.Name); node != nil && node.IsBag() {
+				rel = node.Rel
+			}
+		}
+		if rel == nil {
+			return fmt.Errorf("lmfao: checkpoint restores unknown relation %q", rs.Name)
+		}
+		if err := rel.Restore(rs.Cols, rs.Version); err != nil {
+			return fmt.Errorf("lmfao: restore of relation %q: %w", rs.Name, err)
+		}
+		restored[rs.Name] = true
+	}
+	for _, rel := range db.Relations() {
+		if !restored[rel.Name] {
+			return fmt.Errorf("lmfao: checkpoint is missing relation %q — recover with the session's original database", rel.Name)
+		}
+	}
+	for _, node := range tree.Nodes {
+		if node.IsBag() && !restored[node.Rel.Name] {
+			return fmt.Errorf("lmfao: checkpoint is missing materialized bag %q — recover with the session's original database", node.Rel.Name)
+		}
+	}
+	res := &moo.BatchResult{Plan: plan, Materialized: ck.Views, Versions: ck.Versions}
+	res.Results = make([]*Result, len(plan.Queries))
+	for qi, vid := range plan.OutputView {
+		v := ck.Views[vid]
+		if v == nil {
+			return fmt.Errorf("lmfao: checkpoint is missing the output view of query %d", qi)
+		}
+		res.Results[qi] = v
+	}
+	sess.restoreResult(res)
+	return nil
+}
+
+// start launches the single worker goroutine that owns the write side.
+func (d *DurableSession) start() {
+	d.jobs = make(chan *durableJob, 256)
+	d.worker.Add(1)
+	go d.workerLoop()
+}
+
+func (d *DurableSession) workerLoop() {
+	defer d.worker.Done()
+	for j := range d.jobs {
+		d.handle(j)
+		d.pending.Done()
+	}
+}
+
+func (d *DurableSession) handle(j *durableJob) {
+	switch {
+	case j.run:
+		_, err := d.sess.Run()
+		if err == nil {
+			err = d.checkpoint()
+		}
+		j.ch <- ApplyResult{Err: err}
+	case j.ckpt:
+		j.ch <- ApplyResult{Err: d.checkpoint()}
+	default:
+		stats, err := d.applyLogged(j.updates)
+		j.ch <- ApplyResult{Stats: stats, Err: err}
+	}
+}
+
+// applyLogged is the durable write path. Updates are processed strictly
+// one at a time, each appended (and fsynced, per policy) to the WAL before
+// it touches the session — log-before-apply — so the durable log is always
+// exactly the sequence of updates the session attempted, in order: the
+// invariant recovery's replay depends on.
+func (d *DurableSession) applyLogged(updates []Update) ([]*ApplyStats, error) {
+	if d.wedged != nil {
+		return nil, d.wedged
+	}
+	var out []*ApplyStats
+	for _, u := range updates {
+		if _, err := d.log.Append(u); err != nil {
+			// The update never became durable, so it must not be applied;
+			// the log writer is wedged (crashed or failing), and so is the
+			// session — the remaining updates are neither logged nor
+			// applied. Recover from the directory.
+			d.wedged = err
+			return out, err
+		}
+		stats, err := d.sess.Apply(u)
+		out = append(out, stats...)
+		d.sinceCkpt++
+		if err != nil {
+			// A deterministic apply failure of a logged update: recovery's
+			// replay reproduces it identically, so log and session stay
+			// consistent. This call's remaining updates are neither logged
+			// nor applied, matching Session.Apply's stop-at-first-error
+			// contract.
+			return out, err
+		}
+	}
+	if d.opts.CheckpointEvery > 0 && d.sinceCkpt >= d.opts.CheckpointEvery {
+		if err := d.checkpoint(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// checkpoint durably snapshots the session's current state. Worker-only.
+// It syncs the log first (a checkpoint must never cover unsynced records),
+// captures the relations' contents and versions plus the maintained view
+// DAG, writes the checkpoint file atomically, prunes old ones, and pins
+// each relation's delta log at the covered version so the in-memory
+// retention cap cannot evict entries a recovery from this checkpoint (or a
+// log-driven consumer resuming from it) still needs.
+func (d *DurableSession) checkpoint() error {
+	if d.wedged != nil {
+		return d.wedged
+	}
+	s := d.sess
+	if s.res == nil {
+		// A failed round left no maintained state; the next Run/Apply
+		// recomputes and the checkpoint retries on the following interval.
+		return nil
+	}
+	if err := d.log.Sync(); err != nil {
+		d.wedged = err
+		return err
+	}
+	db := s.eng.DB()
+	ck := &wal.Checkpoint{
+		LSN:      d.log.LastLSN(),
+		Versions: ivm.CaptureVersions(db),
+		Views:    s.res.Materialized,
+	}
+	for _, rel := range db.Relations() {
+		ck.Relations = append(ck.Relations, wal.RelationState{
+			Name: rel.Name, Version: rel.Version(), Cols: rel.Cols,
+		})
+	}
+	// Materialized hypertree bags live in the join tree, not the database;
+	// capture them too, or a recovery would fold replayed member deltas into
+	// bags still holding their pristine contents.
+	for _, node := range s.eng.Tree().Nodes {
+		if node.IsBag() {
+			ck.Relations = append(ck.Relations, wal.RelationState{
+				Name: node.Rel.Name, Version: node.Rel.Version(), Cols: node.Rel.Cols,
+			})
+		}
+	}
+	if err := wal.WriteCheckpoint(ckptDir(d.dir), ck, d.failCkpt.Swap(false)); err != nil {
+		if errors.Is(err, wal.ErrInjectedCrash) {
+			d.wedged = err
+		}
+		return err
+	}
+	if err := wal.PruneCheckpoints(ckptDir(d.dir), d.opts.CheckpointKeep); err != nil {
+		return err
+	}
+	for _, rel := range db.Relations() {
+		rel.PinDeltaLog(ck.Versions[rel.Name])
+	}
+	d.sinceCkpt = 0
+	return nil
+}
+
+// submit enqueues a job unless the session is closed.
+func (d *DurableSession) submit(j *durableJob) (<-chan ApplyResult, error) {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed.Load() {
+		return nil, errSessionClosed
+	}
+	d.pending.Add(1)
+	d.jobs <- j
+	return j.ch, nil
+}
+
+// Run (re)computes the batch from scratch, publishes it and writes a
+// checkpoint covering it, so a session is recoverable from the moment its
+// first Run returns.
+func (d *DurableSession) Run() (Queryable, error) {
+	ch, err := d.submit(&durableJob{run: true, ch: make(chan ApplyResult, 1)})
+	if err != nil {
+		return nil, err
+	}
+	if res := <-ch; res.Err != nil {
+		return nil, res.Err
+	}
+	return d.sess.Snapshot(), nil
+}
+
+// Apply logs and applies the updates (log-before-apply, one update at a
+// time) and returns the maintenance stats, exactly like Session.Apply plus
+// durability: when Apply returns, every committed update is fsynced in the
+// WAL (per the SyncEvery policy).
+func (d *DurableSession) Apply(updates ...Update) ([]*ApplyStats, error) {
+	ch, err := d.submit(&durableJob{updates: updates, ch: make(chan ApplyResult, 1)})
+	if err != nil {
+		return nil, err
+	}
+	res := <-ch
+	return res.Stats, res.Err
+}
+
+// ApplyAsync is Apply on the worker without waiting: the returned channel
+// delivers the round's result once it commits (or fails). Rounds commit in
+// submission order — the worker is the single writer.
+func (d *DurableSession) ApplyAsync(updates ...Update) <-chan ApplyResult {
+	ch, err := d.submit(&durableJob{updates: updates, ch: make(chan ApplyResult, 1)})
+	if err != nil {
+		out := make(chan ApplyResult, 1)
+		out <- ApplyResult{Err: err}
+		return out
+	}
+	return ch
+}
+
+// Checkpoint forces a durable checkpoint of the current state, regardless
+// of the automatic interval.
+func (d *DurableSession) Checkpoint() error {
+	ch, err := d.submit(&durableJob{ckpt: true, ch: make(chan ApplyResult, 1)})
+	if err != nil {
+		return err
+	}
+	return (<-ch).Err
+}
+
+// Snapshot returns the latest committed snapshot (see Session.Snapshot);
+// reads are identical to an unlogged session's.
+func (d *DurableSession) Snapshot() Queryable { return d.sess.Snapshot() }
+
+// Head returns the latest committed snapshot as a concrete *Snapshot (see
+// Session.Head).
+func (d *DurableSession) Head() *Snapshot { return d.sess.Head() }
+
+// Session returns the wrapped Session for reads and introspection. Writing
+// through it directly (Apply/Run) would bypass the log and break the
+// recovery invariant.
+func (d *DurableSession) Session() *Session { return d.sess }
+
+// LastLSN returns the LSN of the last durably committed log record (0
+// before the first logged update; after recovery, the position the
+// recovered state reflects). Safe from any goroutine.
+func (d *DurableSession) LastLSN() uint64 { return d.log.LastLSN() }
+
+// Dir returns the durable state directory.
+func (d *DurableSession) Dir() string { return d.dir }
+
+// Wait blocks until every maintenance call accepted so far has finished.
+func (d *DurableSession) Wait() { d.pending.Wait() }
+
+// Close drains accepted work, writes a final checkpoint, syncs and closes
+// the log, and stops the worker. Further maintenance calls fail; published
+// snapshots stay readable. Idempotent.
+func (d *DurableSession) Close() { d.shutdown(false) }
+
+// Kill is Close without the final checkpoint or log sync — the shutdown of
+// a simulated crash (testing): only what the fsync policy already
+// committed survives on disk. Accepted-but-unprocessed jobs still drain
+// through the worker (their effect is in-memory only and discarded).
+// Idempotent with Close.
+func (d *DurableSession) Kill() { d.shutdown(true) }
+
+func (d *DurableSession) shutdown(kill bool) {
+	d.closeMu.Lock()
+	already := d.closed.Swap(true)
+	d.closeMu.Unlock()
+	if already {
+		return
+	}
+	if !kill {
+		// Final checkpoint, enqueued directly: submit's gate is closed.
+		d.pending.Add(1)
+		j := &durableJob{ckpt: true, ch: make(chan ApplyResult, 1)}
+		d.jobs <- j
+		<-j.ch
+	}
+	close(d.jobs)
+	d.worker.Wait()
+	d.sess.Close()
+	if kill {
+		_ = d.log.Abort()
+	} else {
+		_ = d.log.Close()
+	}
+}
+
+// CrashAfterAppends arms the WAL writer's injected-crash point: the next n
+// appends succeed, then the following one writes a torn frame prefix and
+// wedges the session with wal.ErrInjectedCrash — the on-disk state of a
+// process dying mid-append. Fault injection for crash-recovery testing.
+func (d *DurableSession) CrashAfterAppends(n int) { d.log.CrashAfterAppends(n) }
+
+// CrashNextCheckpoint arms the checkpoint crash point: the next checkpoint
+// writes its bytes but dies before fsync/rename, leaving only a stale .tmp
+// file recovery ignores, and wedges the session. Fault injection for
+// crash-recovery testing.
+func (d *DurableSession) CrashNextCheckpoint() { d.failCkpt.Store(true) }

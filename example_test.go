@@ -3,6 +3,7 @@ package lmfao_test
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	lmfao "repro"
@@ -245,4 +246,50 @@ func ExampleSession_Snapshot() {
 	// epochs: 1 -> 2
 	// region 1 before: 3, after: 43
 	// sales version advanced: true
+}
+
+// ExampleDurableSession survives a crash: updates are logged to a WAL
+// before they apply, checkpoints bound replay, and RecoverSession rebuilds
+// the maintained views from the newest checkpoint plus the log suffix —
+// landing exactly on the state the log committed.
+func ExampleDurableSession() {
+	db, region, amount := salesDB()
+	queries := []*lmfao.Query{
+		lmfao.NewQuery("by_region", []lmfao.AttrID{region}, lmfao.Sum(amount)),
+	}
+	dir, err := os.MkdirTemp("", "lmfao-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sess, err := lmfao.NewDurableSession(db, queries, lmfao.DefaultOptions(),
+		lmfao.DurableOptions{SyncEvery: 1}, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Apply(lmfao.InsertRows("Sales",
+		lmfao.IntColumn([]int64{1}), lmfao.FloatColumn([]float64{4}))); err != nil {
+		log.Fatal(err)
+	}
+	// Kill abandons the session without a final checkpoint — the crash.
+	sess.Kill()
+
+	// Recovery starts from the pristine base data plus the durable dir.
+	pristine, _, _ := salesDB()
+	recovered, err := lmfao.RecoverSession(dir, pristine, queries,
+		lmfao.DefaultOptions(), lmfao.DurableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recovered.Close()
+	fmt.Printf("replayed through LSN %d\n", recovered.LastLSN())
+	printGrouped(recovered.Head().Result(0))
+	// Output:
+	// replayed through LSN 1
+	// region 0: 26
+	// region 1: 3
 }

@@ -42,6 +42,10 @@ type Relation struct {
 	// logCap bounds the retained log entries; 0 means DefaultDeltaLogCap
 	// (see SetDeltaLogCap).
 	logCap int
+	// logPin, when logPinned, is the highest Seq eviction may drop: entries
+	// after it are needed by a durable consumer (see PinDeltaLog).
+	logPin    int64
+	logPinned bool
 
 	// keyIdx caches join-key indexes per attribute list (see KeyIndex);
 	// keyIdxMu guards it because maintenance passes may overlap with
@@ -240,6 +244,40 @@ func (r *Relation) SortedCopy(order []AttrID) (*Relation, error) {
 		return nil, err
 	}
 	return cp, nil
+}
+
+// Restore replaces the relation's contents and mutation counter with a
+// recovered state: cols becomes the row storage (ownership transfers to the
+// relation) and version the mutation counter, as captured by a WAL
+// checkpoint. All derived caches — sort order, distinct counts, key
+// indexes — are dropped, and the delta log resets to empty with
+// DeltaLogTruncatedThrough = version, since the pre-restore entries are not
+// reconstructible from a checkpoint. Single-writer: must not race with row
+// reads.
+func (r *Relation) Restore(cols []Column, version int64) error {
+	n, err := r.checkBlock(cols)
+	if err != nil {
+		return err
+	}
+	r.Cols = cols
+	r.n = n
+	r.sortOrder = nil
+	r.distinctMu.Lock()
+	r.distinct = nil
+	r.distinctMu.Unlock()
+	r.keyIdxMu.Lock()
+	r.keyIdx = nil
+	r.keyIdxMu.Unlock()
+	r.logMu.Lock()
+	r.version = version
+	for i := range r.log {
+		r.log[i] = DeltaEntry{}
+	}
+	r.log = r.log[:0]
+	r.logDropped = version
+	r.logPinned = false
+	r.logMu.Unlock()
+	return nil
 }
 
 // DistinctCount returns the number of distinct values of a discrete

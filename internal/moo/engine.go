@@ -173,14 +173,24 @@ type BatchResult struct {
 	Versions ivm.VersionVector
 }
 
-// Run plans and executes a batch of aggregate queries.
-func (e *Engine) Run(queries []*query.Query) (*BatchResult, error) {
-	start := time.Now()
-	plan, err := core.BuildPlan(e.tree, queries, core.PlanOptions{
+// PlanBatch builds the logical plan Run would execute for queries, without
+// executing it. Plan construction is deterministic for a given join tree,
+// query batch, option set and base-relation statistics; WAL recovery
+// (lmfao.RecoverSession) relies on this to rebuild, over the pristine
+// initial database, the exact plan a checkpoint's views were materialized
+// under before restoring those views onto it.
+func (e *Engine) PlanBatch(queries []*query.Query) (*core.Plan, error) {
+	return core.BuildPlan(e.tree, queries, core.PlanOptions{
 		MultiRoot:   e.opts.MultiRoot,
 		MultiOutput: e.opts.MultiOutput,
 		TrackCounts: e.opts.TrackCounts,
 	})
+}
+
+// Run plans and executes a batch of aggregate queries.
+func (e *Engine) Run(queries []*query.Query) (*BatchResult, error) {
+	start := time.Now()
+	plan, err := e.PlanBatch(queries)
 	if err != nil {
 		return nil, err
 	}

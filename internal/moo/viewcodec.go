@@ -1,0 +1,196 @@
+package moo
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/data"
+)
+
+// Binary codec for ViewData, used by the WAL checkpoint format
+// (internal/wal). The encoding captures everything a recovered session
+// needs to resume maintenance bit-exactly: group-by schema, the consumer
+// layout established by finalize (skey/extra positions), and the sorted
+// keys and aggregates verbatim (float64 bits, so no value is perturbed).
+// The consumer-key range index is rebuilt on decode rather than stored; the
+// lazy full-key index starts empty and is rebuilt on demand, exactly as
+// after a fresh evaluation.
+
+// ErrViewCorrupt is returned by DecodeViewData for structurally invalid
+// encodings.
+var ErrViewCorrupt = errors.New("moo: corrupt view encoding")
+
+// maxViewDim bounds decoded column counts so a corrupt header cannot drive
+// a huge allocation.
+const maxViewDim = 1 << 16
+
+// AppendBinary appends a self-delimiting binary encoding of the view to buf
+// and returns the extended slice.
+func (v *ViewData) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v.GroupBy)))
+	for _, a := range v.GroupBy {
+		buf = binary.AppendUvarint(buf, uint64(uint32(a)))
+	}
+	if v.index == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(v.skeyPos)))
+		for _, p := range v.skeyPos {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(v.extraPos)))
+		for _, p := range v.extraPos {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(v.rows))
+	buf = binary.AppendUvarint(buf, uint64(v.Stride))
+	for _, col := range v.Keys {
+		for _, k := range col[:v.rows] {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+		}
+	}
+	for _, val := range v.Vals[:v.rows*v.Stride] {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(val))
+	}
+	return buf
+}
+
+// DecodeViewData decodes one AppendBinary encoding from the front of b,
+// returning the view and the number of bytes consumed. Finalized views get
+// their consumer-key range index rebuilt; the lazy full-key index is left
+// unbuilt (EnsureIndex re-creates it before snapshot publication).
+func DecodeViewData(b []byte) (*ViewData, int, error) {
+	d := viewDecoder{b: b}
+	ncols := d.uvarint()
+	if ncols > maxViewDim {
+		return nil, 0, ErrViewCorrupt
+	}
+	v := &ViewData{GroupBy: make([]data.AttrID, ncols)}
+	for i := range v.GroupBy {
+		v.GroupBy[i] = data.AttrID(int32(d.uvarint()))
+	}
+	finalized := d.byte() == 1
+	if finalized {
+		v.skeyPos = d.posList(int(ncols))
+		v.extraPos = d.posList(int(ncols))
+	}
+	rows := d.uvarint()
+	stride := d.uvarint()
+	if rows > math.MaxInt32 || stride > maxViewDim || d.err != nil {
+		return nil, 0, ErrViewCorrupt
+	}
+	v.rows = int(rows)
+	v.Stride = int(stride)
+	need := (ncols*rows + rows*stride) * 8
+	if uint64(len(d.b)) < need {
+		return nil, 0, ErrViewCorrupt
+	}
+	v.Keys = make([][]int64, ncols)
+	for c := range v.Keys {
+		col := make([]int64, rows)
+		for i := range col {
+			col[i] = int64(d.u64())
+		}
+		v.Keys[c] = col
+	}
+	v.Vals = make([]float64, rows*stride)
+	for i := range v.Vals {
+		v.Vals[i] = math.Float64frombits(d.u64())
+	}
+	if d.err != nil {
+		return nil, 0, ErrViewCorrupt
+	}
+	if finalized {
+		if len(v.skeyPos)+len(v.extraPos) != int(ncols) {
+			return nil, 0, ErrViewCorrupt
+		}
+		v.buildRangeIndex()
+	}
+	return v, len(b) - len(d.b), nil
+}
+
+// buildRangeIndex (re)builds the consumer-key → entry-range index from the
+// already-sorted rows, mirroring the index construction in finalize.
+func (v *ViewData) buildRangeIndex() {
+	v.index = make(map[string][2]int32, v.rows)
+	buf := make([]byte, 0, 8*len(v.skeyPos))
+	start := 0
+	for i := 1; i <= v.rows; i++ {
+		if i < v.rows && sameSKey(v, i-1, i) {
+			continue
+		}
+		buf = buf[:0]
+		for _, c := range v.skeyPos {
+			buf = data.AppendKey(buf, v.Keys[c][start])
+		}
+		v.index[string(buf)] = [2]int32{int32(start), int32(i)}
+		start = i
+	}
+}
+
+// viewDecoder is a cursor over an encoded view; the first malformed read
+// sets err and poisons all later reads.
+type viewDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *viewDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = ErrViewCorrupt
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *viewDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = ErrViewCorrupt
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *viewDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.err = ErrViewCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *viewDecoder) posList(ncols int) []int {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(ncols) {
+		d.err = ErrViewCorrupt
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		p := d.uvarint()
+		if d.err != nil || p >= uint64(ncols) {
+			d.err = ErrViewCorrupt
+			return nil
+		}
+		out[i] = int(p)
+	}
+	return out
+}

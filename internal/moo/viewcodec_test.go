@@ -1,0 +1,151 @@
+package moo
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// codecViews runs a grouped batch and returns every materialized view: the
+// mix includes finalized internal views (range index, carried extras) and
+// non-finalized application outputs.
+func codecViews(t *testing.T) []*ViewData {
+	t.Helper()
+	db, keys, nums := chainDB(t, 60, 11, 4)
+	queries := []*query.Query{
+		query.NewQuery("span", []data.AttrID{keys[1], keys[4]},
+			query.CountAgg(), query.SumAgg(nums[1])),
+		query.NewQuery("local", []data.AttrID{keys[2]}, query.SumAgg(nums[0])),
+		query.NewQuery("scalar", nil, query.CountAgg()),
+	}
+	eng, err := NewEngine(db, Options{Compiled: true, MultiOutput: true, MultiRoot: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Materialized) == 0 {
+		t.Fatal("no materialized views")
+	}
+	return res.Materialized
+}
+
+func viewLabel(i int) string { return "view#" + string(rune('0'+i)) }
+
+// posEqual treats nil and empty position lists as the same layout.
+func posEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameView(t *testing.T, label string, got, want *ViewData) {
+	t.Helper()
+	if got.rows != want.rows || got.Stride != want.Stride {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.rows, got.Stride, want.rows, want.Stride)
+	}
+	if len(got.GroupBy) != len(want.GroupBy) {
+		t.Fatalf("%s: GroupBy %v, want %v", label, got.GroupBy, want.GroupBy)
+	}
+	for i := range want.GroupBy {
+		if got.GroupBy[i] != want.GroupBy[i] {
+			t.Fatalf("%s: GroupBy %v, want %v", label, got.GroupBy, want.GroupBy)
+		}
+	}
+	if !posEqual(got.skeyPos, want.skeyPos) || !posEqual(got.extraPos, want.extraPos) {
+		t.Fatalf("%s: positions (%v,%v), want (%v,%v)", label, got.skeyPos, got.extraPos, want.skeyPos, want.extraPos)
+	}
+	if len(got.Keys) != len(want.Keys) {
+		t.Fatalf("%s: %d key columns, want %d", label, len(got.Keys), len(want.Keys))
+	}
+	for c := range want.Keys {
+		if !reflect.DeepEqual(got.Keys[c][:got.rows], want.Keys[c][:want.rows]) {
+			t.Fatalf("%s: key column %d differs", label, c)
+		}
+	}
+	for i := 0; i < want.rows*want.Stride; i++ {
+		if got.Vals[i] != want.Vals[i] {
+			t.Fatalf("%s: value %d differs: %g vs %g", label, i, got.Vals[i], want.Vals[i])
+		}
+	}
+	if (got.index == nil) != (want.index == nil) {
+		t.Fatalf("%s: index presence %v, want %v", label, got.index != nil, want.index != nil)
+	}
+	if want.index != nil && !reflect.DeepEqual(got.index, want.index) {
+		t.Fatalf("%s: rebuilt range index differs: %v vs %v", label, got.index, want.index)
+	}
+}
+
+func TestViewCodecRoundTrip(t *testing.T) {
+	for i, v := range codecViews(t) {
+		buf := v.AppendBinary(nil)
+		got, n, err := DecodeViewData(buf)
+		if err != nil {
+			t.Fatalf("view %d: decode: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("view %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		sameView(t, viewLabel(i), got, v)
+		// Lookup must work on the decoded copy (exercises the lazily built
+		// full-key index on top of the rebuilt range index).
+		for r := 0; r < v.NumRows(); r++ {
+			if got.Lookup(v.Key(r)...) < 0 {
+				t.Fatalf("view %d (%s): decoded copy cannot find row %d", i, viewLabel(i), r)
+			}
+		}
+	}
+}
+
+func TestViewCodecAppendsInPlace(t *testing.T) {
+	views := codecViews(t)
+	// Concatenated frames decode back one at a time.
+	var buf []byte
+	for _, v := range views {
+		buf = v.AppendBinary(buf)
+	}
+	rest := buf
+	for i, v := range views {
+		got, n, err := DecodeViewData(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		sameView(t, viewLabel(i), got, v)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestViewCodecRejectsCorrupt(t *testing.T) {
+	v := codecViews(t)[0]
+	buf := v.AppendBinary(nil)
+	if _, _, err := DecodeViewData(nil); err == nil {
+		t.Fatal("decoded empty input")
+	}
+	for cut := 1; cut < len(buf); cut += 1 + len(buf)/23 {
+		if _, _, err := DecodeViewData(buf[:cut]); err == nil {
+			t.Fatalf("decoded %d-byte prefix", cut)
+		}
+	}
+	// Absurd row counts must be rejected by the byte-bound check rather than
+	// attempting the allocation.
+	huge := append([]byte(nil), buf...)
+	for i := 0; i < len(huge) && i < 12; i++ {
+		huge[i] = 0xff
+	}
+	if _, _, err := DecodeViewData(huge); err == nil {
+		t.Fatal("decoded frame with corrupted header")
+	}
+}

@@ -1,0 +1,318 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/ivm"
+	"repro/internal/moo"
+)
+
+// Checkpoint is a durable snapshot of a maintained session's full state as
+// of a specific log position: base-relation contents and mutation counters,
+// the materialized view DAG, and the ivm.VersionVector the views reflect.
+// Recovery restores the newest valid checkpoint and replays only the log
+// records with LSN > Checkpoint.LSN.
+type Checkpoint struct {
+	// LSN is the last log record the state reflects (0 = initial Run only).
+	LSN uint64
+	// Versions is the version vector the views are consistent with.
+	Versions ivm.VersionVector
+	// Relations holds every base relation's rows and mutation counter.
+	Relations []RelationState
+	// Views is the materialized view DAG indexed by plan view ID; nil
+	// entries are views the plan never materializes.
+	Views []*moo.ViewData
+}
+
+// RelationState is one base relation's checkpointed contents.
+type RelationState struct {
+	Name    string
+	Version int64
+	Cols    []data.Column
+}
+
+// Checkpoint file layout: 8-byte magic, u32le payload length, u32le CRC-32C
+// of the payload, payload. Files are written to a .tmp name, fsynced, and
+// renamed into place (then the directory is fsynced), so a crash mid-write
+// leaves either no checkpoint or a stale .tmp that recovery ignores.
+const (
+	ckptMagic  = "LMFAOCK1"
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+func ckptName(lsn uint64) string {
+	return fmt.Sprintf("ckpt-%016x%s", lsn, ckptSuffix)
+}
+
+// WriteCheckpoint durably writes ck into dir. With failBeforeSync set (the
+// injected crash point for recovery testing) the bytes are written but
+// neither fsynced nor renamed into place — exactly the state a crash
+// between write and commit leaves — and ErrInjectedCrash is returned.
+func WriteCheckpoint(dir string, ck *Checkpoint, failBeforeSync bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	payload := encodeCheckpoint(nil, ck)
+	buf := make([]byte, 0, len(ckptMagic)+8+len(payload))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	tmp := filepath.Join(dir, ckptName(ck.LSN)+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if failBeforeSync {
+		f.Close()
+		return ErrInjectedCrash
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckptName(ck.LSN))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LatestCheckpoint returns the newest checkpoint in dir that validates
+// (magic, length, checksum, payload structure), or nil if none does.
+// Invalid or torn checkpoint files are skipped, never trusted.
+func LatestCheckpoint(dir string) (*Checkpoint, error) {
+	lsns, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		ck, err := ReadCheckpoint(filepath.Join(dir, ckptName(lsns[i])))
+		if err == nil {
+			return ck, nil
+		}
+	}
+	return nil, nil
+}
+
+// listCheckpoints returns the LSNs of dir's checkpoint files in ascending
+// order. A missing directory yields an empty list.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ckptSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}
+
+// ReadCheckpoint reads and validates one checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(ckptMagic)+8 || string(b[:len(ckptMagic)]) != ckptMagic {
+		return nil, ErrCorrupt
+	}
+	b = b[len(ckptMagic):]
+	n := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if len(b) < 8+n {
+		return nil, ErrTruncated
+	}
+	payload := b[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, ErrChecksum
+	}
+	return decodeCheckpoint(payload)
+}
+
+// PruneCheckpoints removes stale .tmp files and all but the keep newest
+// checkpoint files from dir.
+func PruneCheckpoints(dir string, keep int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	lsns, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	for len(lsns) > keep {
+		if err := os.Remove(filepath.Join(dir, ckptName(lsns[0]))); err != nil {
+			return err
+		}
+		lsns = lsns[1:]
+	}
+	return nil
+}
+
+// encodeCheckpoint appends ck's payload encoding to buf. Version-vector
+// entries are written in sorted name order so encoding is deterministic.
+func encodeCheckpoint(buf []byte, ck *Checkpoint) []byte {
+	buf = binary.AppendUvarint(buf, ck.LSN)
+	names := make([]string, 0, len(ck.Versions))
+	for name := range ck.Versions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = appendString(buf, name)
+		buf = binary.AppendUvarint(buf, uint64(ck.Versions[name]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Relations)))
+	for _, rs := range ck.Relations {
+		buf = appendString(buf, rs.Name)
+		buf = binary.AppendUvarint(buf, uint64(rs.Version))
+		buf = appendBlock(buf, rs.Cols)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Views)))
+	for _, v := range ck.Views {
+		if v == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = v.AppendBinary(buf)
+	}
+	return buf
+}
+
+func decodeCheckpoint(p []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	lsn, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	ck.LSN = lsn
+
+	nver, n := binary.Uvarint(p)
+	if n <= 0 || nver > uint64(len(p)) {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	ck.Versions = make(ivm.VersionVector, nver)
+	for i := uint64(0); i < nver; i++ {
+		name, rest, err := decodeString(p)
+		if err != nil {
+			return nil, err
+		}
+		ver, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		p = rest[n:]
+		ck.Versions[name] = int64(ver)
+	}
+
+	nrel, n := binary.Uvarint(p)
+	if n <= 0 || nrel > uint64(len(p)) {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	ck.Relations = make([]RelationState, 0, nrel)
+	for i := uint64(0); i < nrel; i++ {
+		var rs RelationState
+		var err error
+		if rs.Name, p, err = decodeString(p); err != nil {
+			return nil, err
+		}
+		ver, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		p = p[n:]
+		rs.Version = int64(ver)
+		if rs.Cols, p, err = decodeBlock(p); err != nil {
+			return nil, err
+		}
+		ck.Relations = append(ck.Relations, rs)
+	}
+
+	nviews, n := binary.Uvarint(p)
+	if n <= 0 || nviews > uint64(len(p)) {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	ck.Views = make([]*moo.ViewData, nviews)
+	for i := range ck.Views {
+		if len(p) == 0 {
+			return nil, ErrCorrupt
+		}
+		present := p[0]
+		p = p[1:]
+		if present == 0 {
+			continue
+		}
+		if present != 1 {
+			return nil, ErrCorrupt
+		}
+		v, used, err := moo.DecodeViewData(p)
+		if err != nil {
+			return nil, fmt.Errorf("wal: checkpoint view %d: %w", i, err)
+		}
+		ck.Views[i] = v
+		p = p[used:]
+	}
+	if len(p) != 0 {
+		return nil, ErrCorrupt
+	}
+	return ck, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	sl, n := binary.Uvarint(b)
+	if n <= 0 || sl > uint64(len(b)-n) {
+		return "", nil, ErrCorrupt
+	}
+	return string(b[n : n+int(sl)]), b[n+int(sl):], nil
+}

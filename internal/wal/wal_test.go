@@ -1,0 +1,394 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/ivm"
+)
+
+func testDelta(i int64) data.Delta {
+	return data.Delta{
+		Relation: "sales",
+		Inserts: []data.Column{
+			data.NewIntColumn([]int64{i, i + 1}),
+			data.NewFloatColumn([]float64{float64(i) * 0.5, -1}),
+		},
+		Deletes: []data.Column{
+			data.NewIntColumn([]int64{i}),
+			data.NewFloatColumn([]float64{0.25}),
+		},
+	}
+}
+
+func deltasEqual(a, b data.Delta) bool {
+	return a.Relation == b.Relation &&
+		blocksEqual(a.Inserts, b.Inserts) && blocksEqual(a.Deletes, b.Deletes)
+}
+
+func blocksEqual(a, b []data.Column) bool {
+	if blockRows(a) == 0 && blockRows(b) == 0 && len(a) == len(b) {
+		return true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsInt() != b[i].IsInt() {
+			return false
+		}
+		if a[i].IsInt() {
+			if !reflect.DeepEqual(append([]int64{}, a[i].Ints...), append([]int64{}, b[i].Ints...)) {
+				return false
+			}
+		} else if !reflect.DeepEqual(append([]float64{}, a[i].Floats...), append([]float64{}, b[i].Floats...)) {
+			return false
+		}
+	}
+	return true
+}
+
+func blockRows(cols []data.Column) int {
+	if len(cols) == 0 {
+		return 0
+	}
+	return cols[0].Len()
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	for _, d := range []data.Delta{
+		testDelta(7),
+		{Relation: "empty"},
+		{Relation: "insonly", Inserts: []data.Column{data.NewIntColumn([]int64{1, 2, 3})}},
+		{Relation: "zerorows", Inserts: []data.Column{data.NewIntColumn(nil), data.NewFloatColumn(nil)}},
+	} {
+		buf := AppendRecord(nil, Record{LSN: 42, Delta: d})
+		rec, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("%q: decode: %v", d.Relation, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%q: consumed %d of %d bytes", d.Relation, n, len(buf))
+		}
+		if rec.LSN != 42 || !deltasEqual(rec.Delta, d) {
+			t.Fatalf("%q: round trip mismatch: %+v", d.Relation, rec)
+		}
+	}
+}
+
+func TestWALRecordTruncatedAndCorrupt(t *testing.T) {
+	buf := AppendRecord(nil, Record{LSN: 1, Delta: testDelta(3)})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRecord(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// A flipped payload byte must fail the checksum.
+	for off := frameHeaderLen; off < len(buf); off++ {
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0x40
+		if _, _, err := DecodeRecord(bad); err == nil {
+			t.Fatalf("flipped payload byte %d: decode succeeded", off)
+		}
+	}
+	// A flipped CRC byte mismatches too.
+	bad := append([]byte(nil), buf...)
+	bad[5] ^= 0x01
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped crc: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestLogAppendReplayReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := int64(0); i < n; i++ {
+		lsn, err := l.Append(testDelta(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i)+1 {
+			t.Fatalf("append %d: lsn = %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != n {
+		t.Fatalf("reopened LastLSN = %d, want %d", l2.LastLSN(), n)
+	}
+	var got []uint64
+	err = l2.Replay(5, func(rec Record) error {
+		got = append(got, rec.LSN)
+		if !deltasEqual(rec.Delta, testDelta(int64(rec.LSN)-1)) {
+			t.Fatalf("lsn %d: replayed delta mismatch", rec.LSN)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-5 || got[0] != 6 || got[len(got)-1] != n {
+		t.Fatalf("replayed LSNs %v", got)
+	}
+	// Appends continue numbering after the replayed prefix.
+	lsn, err := l2.Append(testDelta(99))
+	if err != nil || lsn != n+1 {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestLogSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := int64(0); i < n; i++ {
+		if _, err := l.Append(testDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("rotation produced %d segments (err=%v), want several", len(segs), err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	count := 0
+	if err := l2.Replay(0, func(rec Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n || l2.LastLSN() != n {
+		t.Fatalf("replayed %d records, LastLSN %d, want %d", count, l2.LastLSN(), n)
+	}
+}
+
+func TestLogTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if _, err := l.Append(testDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last record.
+	if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 4 {
+		t.Fatalf("after torn tail LastLSN = %d, want 4", l2.LastLSN())
+	}
+	// The torn bytes are gone: appends extend the committed prefix.
+	if lsn, err := l2.Append(testDelta(9)); err != nil || lsn != 5 {
+		t.Fatalf("append after truncation: lsn=%d err=%v", lsn, err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.LastLSN() != 5 {
+		t.Fatalf("after re-append LastLSN = %d, want 5", l3.LastLSN())
+	}
+}
+
+func TestLogCorruptRecordCutsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		if _, err := l.Append(testDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the 4th record's payload: records 4..6 must drop.
+	recLen := len(b) / 6
+	b[3*recLen+frameHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 3 {
+		t.Fatalf("after corrupt record LastLSN = %d, want 3", l2.LastLSN())
+	}
+}
+
+func TestLogCrashAfterAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CrashAfterAppends(3)
+	for i := int64(0); i < 3; i++ {
+		if _, err := l.Append(testDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Append(testDelta(3)); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("4th append err = %v, want ErrInjectedCrash", err)
+	}
+	// Wedged: everything fails with the same error now.
+	if _, err := l.Append(testDelta(4)); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("5th append err = %v, want ErrInjectedCrash", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("sync err = %v, want ErrInjectedCrash", err)
+	}
+	l.Abort()
+	// The torn frame the crash left is truncated on reopen.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 3 {
+		t.Fatalf("recovered LastLSN = %d, want 3", l2.LastLSN())
+	}
+}
+
+func TestLogRejectsRaggedDelta(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	bad := data.Delta{Relation: "r", Inserts: []data.Column{
+		data.NewIntColumn([]int64{1, 2}),
+		data.NewIntColumn([]int64{1}),
+	}}
+	if _, err := l.Append(bad); err == nil {
+		t.Fatal("ragged delta accepted")
+	}
+	// Not wedged: a rejected delta is not a write failure.
+	if _, err := l.Append(testDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointWriteReadPrune(t *testing.T) {
+	dir := t.TempDir()
+	ck := &Checkpoint{
+		LSN:      7,
+		Versions: ivm.VersionVector{"sales": 7, "stores": 2},
+		Relations: []RelationState{{
+			Name: "sales", Version: 7,
+			Cols: []data.Column{
+				data.NewIntColumn([]int64{1, 2, 3}),
+				data.NewFloatColumn([]float64{0.5, 1.5, 2.5}),
+			},
+		}},
+		Views: nil,
+	}
+	if err := WriteCheckpoint(dir, ck, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LatestCheckpoint(dir)
+	if err != nil || got == nil {
+		t.Fatalf("LatestCheckpoint: %v, %v", got, err)
+	}
+	if got.LSN != 7 || !got.Versions.Equal(ck.Versions) || len(got.Relations) != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !blocksEqual(got.Relations[0].Cols, ck.Relations[0].Cols) {
+		t.Fatal("relation columns mismatch")
+	}
+
+	// An injected pre-fsync crash leaves only a .tmp that recovery ignores.
+	ck2 := &Checkpoint{LSN: 9, Versions: ivm.VersionVector{"sales": 9}}
+	if err := WriteCheckpoint(dir, ck2, true); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("failBeforeSync err = %v", err)
+	}
+	got, err = LatestCheckpoint(dir)
+	if err != nil || got == nil || got.LSN != 7 {
+		t.Fatalf("after torn checkpoint: %+v, %v", got, err)
+	}
+
+	// A corrupted newest checkpoint falls back to the previous one.
+	ck3 := &Checkpoint{LSN: 11, Versions: ivm.VersionVector{"sales": 11}}
+	if err := WriteCheckpoint(dir, ck3, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ckptName(11))
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LatestCheckpoint(dir)
+	if err != nil || got == nil || got.LSN != 7 {
+		t.Fatalf("fallback checkpoint: %+v, %v", got, err)
+	}
+
+	// Prune keeps the newest files (by LSN) and clears .tmp litter.
+	if err := WriteCheckpoint(dir, &Checkpoint{LSN: 13}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := PruneCheckpoints(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("after prune: %v", names)
+	}
+}

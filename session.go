@@ -280,6 +280,19 @@ func (s *Session) Run() (Queryable, error) {
 // errSessionClosed is returned by maintenance calls after Close.
 var errSessionClosed = errors.New("lmfao: session is closed")
 
+// restoreResult installs a recovered batch result as the session's current
+// maintained state and publishes it, pinned to the result's version vector.
+// WAL recovery (RecoverSession) calls it after restoring a checkpoint's
+// base relations and views onto a session built over the pristine database;
+// subsequent Apply calls maintain the restored state exactly as if the
+// session had computed it itself.
+func (s *Session) restoreResult(res *moo.BatchResult) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	s.res = res
+	s.publishLocked(res, res.Versions)
+}
+
 func (s *Session) runLocked() (*BatchResult, error) {
 	res, err := s.eng.Run(s.queries)
 	if err != nil {

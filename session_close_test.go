@@ -1,0 +1,140 @@
+package lmfao
+
+import (
+	"errors"
+	"testing"
+)
+
+// closeFixture builds one maintainer of each serving kind over independent
+// copies of the sessionFixture database, runs it, and hands back a closer
+// probe. The table below drives the shared Close contract across all four:
+// Close is idempotent, Apply/ApplyAsync/Run after Close fail with
+// errSessionClosed (never panic or hang), and the last published snapshot
+// stays readable.
+func closeFixtures(t *testing.T) map[string]Maintainer {
+	t.Helper()
+	mk := func() (*Database, []*Query) {
+		db, _, amount, region := sessionFixture(t)
+		return db, []*Query{
+			NewQuery("byregion", []AttrID{region}, Count(), Sum(amount)),
+			NewQuery("total", nil, Sum(amount)),
+		}
+	}
+	out := map[string]Maintainer{}
+
+	db, queries := mk()
+	sess, err := NewSession(db, queries, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["session"] = sess
+
+	db, queries = mk()
+	sharded, err := NewShardedSession(db, queries, DefaultOptions(), ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["sharded"] = sharded
+
+	db, queries = mk()
+	durable, err := NewDurableSession(db, queries, DefaultOptions(), DurableOptions{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["durable"] = durable
+
+	db, queries = mk()
+	dsharded, err := NewDurableShardedSession(db, queries, DefaultOptions(), ShardOptions{Shards: 2}, DurableOptions{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["durable-sharded"] = dsharded
+
+	return out
+}
+
+func TestCloseContract(t *testing.T) {
+	for name, m := range closeFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			u := Update{Relation: "sales",
+				Inserts: []Column{IntColumn([]int64{2}), FloatColumn([]float64{10})}}
+			if _, err := m.Apply(u); err != nil {
+				t.Fatalf("pre-close apply: %v", err)
+			}
+			pre := m.Snapshot()
+			if pre == nil {
+				t.Fatal("no snapshot before close")
+			}
+
+			m.Close()
+			m.Close() // idempotent
+			m.Wait()  // no deadlock after close
+
+			if _, err := m.Apply(u); !errors.Is(err, errSessionClosed) {
+				t.Fatalf("apply after close: err = %v, want errSessionClosed", err)
+			}
+			res := <-m.ApplyAsync(u)
+			if !errors.Is(res.Err, errSessionClosed) {
+				t.Fatalf("async apply after close: err = %v, want errSessionClosed", res.Err)
+			}
+			if _, err := m.Run(); !errors.Is(err, errSessionClosed) {
+				t.Fatalf("run after close: err = %v, want errSessionClosed", err)
+			}
+
+			// The last published snapshot stays readable after Close.
+			sn := m.Snapshot()
+			if sn == nil {
+				t.Fatal("snapshot gone after close")
+			}
+			if got := sn.NumQueries(); got != 2 {
+				t.Fatalf("snapshot serves %d queries, want 2", got)
+			}
+			if _, ok := sn.Lookup(1); !ok {
+				t.Fatal("scalar lookup failed on post-close snapshot")
+			}
+		})
+	}
+}
+
+// TestDurableCloseThenRecover pins the Close/Recover interplay: a closed
+// durable session's directory recovers without replay (the final checkpoint
+// covers the log), and closing the recovered session again is clean.
+func TestDurableCloseThenRecover(t *testing.T) {
+	db, _, amount, region := sessionFixture(t)
+	queries := []*Query{
+		NewQuery("byregion", []AttrID{region}, Count(), Sum(amount)),
+		NewQuery("total", nil, Sum(amount)),
+	}
+	dir := t.TempDir()
+	d, err := NewDurableSession(db, queries, DefaultOptions(), DurableOptions{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := Update{Relation: "sales",
+		Inserts: []Column{IntColumn([]int64{0}), FloatColumn([]float64{7})}}
+	if _, err := d.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	want := lookupRow(t, d.Head().Result(1))
+	d.Close()
+
+	pristine, _, _, _ := sessionFixture(t)
+	// Recovery needs the same pre-update base data, not the mutated db.
+	rec, err := RecoverSession(dir, pristine, queries, DefaultOptions(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := lookupRow(t, rec.Head().Result(1)); got[0] != want[0] {
+		t.Fatalf("recovered total %v, want %v", got, want)
+	}
+	if got, want := rec.LastLSN(), uint64(1); got != want {
+		t.Fatalf("recovered LSN %d, want %d", got, want)
+	}
+}

@@ -141,31 +141,11 @@ func (r *asyncResult) deliver(stats []*ApplyStats, err error) {
 // stream updates through Apply/ApplyAsync; call Close when done to stop the
 // workers (the shard data remains readable).
 func NewShardedSession(db *Database, queries []*Query, opts Options, so ShardOptions) (*ShardedSession, error) {
-	if so.Shards < 1 {
-		return nil, fmt.Errorf("lmfao: sharded session needs at least 1 shard, got %d", so.Shards)
+	factRel, key, err := resolveShardFact(db, so)
+	if err != nil {
+		return nil, err
 	}
-	factName := so.Relation
-	if factName == "" {
-		for _, r := range db.Relations() {
-			if factRel := db.Relation(factName); factRel == nil || r.Len() > factRel.Len() {
-				factName = r.Name
-			}
-		}
-		if factName == "" {
-			return nil, fmt.Errorf("lmfao: sharded session over an empty database")
-		}
-	}
-	factRel := db.Relation(factName)
-	if factRel == nil {
-		return nil, fmt.Errorf("lmfao: sharded session: unknown fact relation %q", factName)
-	}
-	key := so.Key
-	if key == nil {
-		key = defaultShardKey(db, factRel)
-		if key == nil {
-			return nil, fmt.Errorf("lmfao: sharded session: relation %q has no discrete attribute to shard on", factName)
-		}
-	}
+	factName := factRel.Name
 	shardDBs, err := data.PartitionDatabase(db, factName, key, so.Shards)
 	if err != nil {
 		return nil, err
@@ -190,6 +170,38 @@ func NewShardedSession(db *Database, queries []*Query, opts Options, so ShardOpt
 		go s.worker(i)
 	}
 	return s, nil
+}
+
+// resolveShardFact applies ShardOptions' defaulting rules: pick the fact
+// relation (largest when unnamed) and the shard key (first discrete join
+// attribute when unset). Shared by ShardedSession and DurableShardedSession.
+func resolveShardFact(db *Database, so ShardOptions) (*data.Relation, []AttrID, error) {
+	if so.Shards < 1 {
+		return nil, nil, fmt.Errorf("lmfao: sharded session needs at least 1 shard, got %d", so.Shards)
+	}
+	factName := so.Relation
+	if factName == "" {
+		for _, r := range db.Relations() {
+			if factRel := db.Relation(factName); factRel == nil || r.Len() > factRel.Len() {
+				factName = r.Name
+			}
+		}
+		if factName == "" {
+			return nil, nil, fmt.Errorf("lmfao: sharded session over an empty database")
+		}
+	}
+	factRel := db.Relation(factName)
+	if factRel == nil {
+		return nil, nil, fmt.Errorf("lmfao: sharded session: unknown fact relation %q", factName)
+	}
+	key := so.Key
+	if key == nil {
+		key = defaultShardKey(db, factRel)
+		if key == nil {
+			return nil, nil, fmt.Errorf("lmfao: sharded session: relation %q has no discrete attribute to shard on", factName)
+		}
+	}
+	return factRel, key, nil
 }
 
 // emptySchemaRelation clones a relation's schema with zero-row typed
@@ -257,7 +269,7 @@ func (s *ShardedSession) Stats() ShardedStats {
 // recompute everywhere.
 func (s *ShardedSession) Run() (Queryable, error) {
 	if s.closed.Load() {
-		return nil, fmt.Errorf("lmfao: sharded session is closed")
+		return nil, errSessionClosed
 	}
 	errs := make([]error, len(s.sessions))
 	var wg sync.WaitGroup
@@ -282,10 +294,16 @@ func (s *ShardedSession) Run() (Queryable, error) {
 // every other update is broadcast to all shards (dimension relations are
 // replicated). Shards left untouched by every update get a nil list.
 func (s *ShardedSession) route(updates []Update) ([][]Update, error) {
-	perShard := make([][]Update, len(s.sessions))
+	return routeUpdates(s.factSchema, s.key, len(s.sessions), updates)
+}
+
+// routeUpdates is the routing core shared by ShardedSession and
+// DurableShardedSession (see route).
+func routeUpdates(factSchema *data.Relation, key []AttrID, shards int, updates []Update) ([][]Update, error) {
+	perShard := make([][]Update, shards)
 	for _, u := range updates {
-		if u.Relation == s.factName {
-			routed, err := data.RouteDelta(s.factSchema, u, s.key, len(s.sessions))
+		if u.Relation == factSchema.Name {
+			routed, err := data.RouteDelta(factSchema, u, key, shards)
 			if err != nil {
 				return nil, err
 			}
@@ -330,7 +348,7 @@ func (s *ShardedSession) ApplyAsync(updates ...Update) <-chan ApplyResult {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
-		ch <- ApplyResult{Err: fmt.Errorf("lmfao: sharded session is closed")}
+		ch <- ApplyResult{Err: errSessionClosed}
 		return ch
 	}
 	perShard, err := s.route(updates)
