@@ -57,6 +57,11 @@ func main() {
 
 		walMode    = flag.Bool("wal", false, "benchmark WAL-logged vs unlogged maintenance and recovery time vs log-suffix length (default dataset: retailer; uses -update-frac; writes BENCH_wal.json unless -bench-json overrides)")
 		walBatches = flag.Int("wal-batches", 32, "update batches for the -wal logged-vs-unlogged stream")
+
+		serveMode    = flag.Bool("serve", false, "benchmark the HTTP serving tier: lookup latency under a maintenance stream, closed and open loop plus a shed-load phase (default dataset: retailer; writes BENCH_serve.json unless -bench-json overrides)")
+		serveWorkers = flag.Int("serve-workers", 4, "closed-loop concurrent clients for -serve")
+		serveRate    = flag.Int("serve-rate", 200, "open-loop arrival rate, requests/s, for -serve")
+		serveSeconds = flag.Int("serve-seconds", 2, "duration of each -serve load phase, seconds")
 	)
 	flag.Parse()
 
@@ -128,6 +133,30 @@ func main() {
 		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
 		if err := h.walBench(updateDatasets(*datasets), *updateFrac, *walBatches, path); err != nil {
 			fmt.Fprintf(os.Stderr, "lmfao-bench: wal: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveMode {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			// Serving latency against a toy snapshot is meaningless; match
+			// the maintenance-bench scale.
+			*scale = 0.01
+		}
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_serve.json"
+		}
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.serveBench(updateDatasets(*datasets), *serveWorkers, *serveRate, *serveSeconds, path); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: serve: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	lmfao "repro"
+	"repro/internal/data"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// serveBench measures the serving tier end to end: an in-process HTTP
+// server over a sharded session serves point lookups while a background
+// writer streams maintenance rounds through the ingest endpoint. Three
+// phases run per dataset:
+//
+//   - closed loop: W workers issue back-to-back lookups for the phase
+//     duration — the saturation throughput and its latency distribution;
+//   - open loop: lookups arrive on a fixed schedule (R req/s) regardless of
+//     completions — the latency a non-saturating client population sees,
+//     free of coordinated omission;
+//   - shed: concurrent ?fresh=1 reads against a deliberately tiny requery
+//     budget — proving overload degrades to snapshot reads (200 + staleness
+//     header) instead of erroring.
+//
+// The maintenance stream runs through all three phases, so every latency
+// includes writer interference — the MVCC claim under test is that
+// snapshot reads do not block on maintenance.
+func (h *harness) serveBench(names []string, workers, rate, seconds int, jsonPath string) error {
+	fmt.Printf("\nServing tier: lookup latency under a maintenance stream (closed %d workers, open %d req/s, %ds phases)\n",
+		workers, rate, seconds)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tphase\trequests\tthroughput\tp50\tp90\tp99\tmax\tdegraded\t5xx")
+
+	type phaseResult struct {
+		Phase      string  `json:"phase"`
+		Requests   int     `json:"requests"`
+		RPS        float64 `json:"rps"`
+		P50us      int64   `json:"p50_us"`
+		P90us      int64   `json:"p90_us"`
+		P99us      int64   `json:"p99_us"`
+		MaxUs      int64   `json:"max_us"`
+		Degraded   int64   `json:"degraded"`
+		Errors5xx  int64   `json:"errors_5xx"`
+		FreshReads int64   `json:"fresh_reads,omitempty"`
+	}
+	type benchResult struct {
+		Dataset      string        `json:"dataset"`
+		Scale        float64       `json:"scale"`
+		Shards       int           `json:"shards"`
+		Batch        int           `json:"batch_queries"`
+		WriteRounds  uint64        `json:"write_rounds"`
+		WrittenRows  int           `json:"written_rows"`
+		Phases       []phaseResult `json:"phases"`
+		ServerSheded uint64        `json:"server_shed_count"`
+	}
+
+	var results []benchResult
+	for _, name := range names {
+		ds, err := h.dataset(name)
+		if err != nil {
+			return err
+		}
+		queries := workloads.CovarMatrix(ds)
+		opts := h.options()
+		opts.TrackCounts = true
+		const shards = 2
+		sess, err := lmfao.NewShardedSession(ds.DB, queries, opts, lmfao.ShardOptions{Shards: shards})
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Run(); err != nil {
+			sess.Close()
+			return err
+		}
+		srv, err := serve.NewServer(serve.Config{
+			DB: ds.DB, Maintainer: sess, Queries: queries,
+			Admission: serve.AdmissionOptions{MaxRequeries: 1, MaxPendingApplies: 8},
+		})
+		if err != nil {
+			sess.Close()
+			return err
+		}
+		ts := httptest.NewServer(srv)
+
+		// Background writer: stream shard-local update batches through the
+		// async ingest endpoint for the whole benchmark.
+		fact := ds.DB.Relation(sess.FactRelation())
+		rng := rand.New(rand.NewSource(h.seed))
+		stream, err := genShardStream(rng, fact, sess.ShardKey(), 64, 64)
+		if err != nil {
+			ts.Close()
+			sess.Close()
+			return err
+		}
+		stopWriter := make(chan struct{})
+		var writerRows int
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			client := ts.Client()
+			i := 0
+			for {
+				select {
+				case <-stopWriter:
+					return
+				case <-time.After(20 * time.Millisecond):
+				}
+				u := stream[i%len(stream)]
+				i++
+				body, err := json.Marshal(applyWire(u))
+				if err != nil {
+					continue
+				}
+				resp, err := client.Post(ts.URL+"/v1/apply?mode=async", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusAccepted {
+					writerRows += u.InsertRows() + u.DeleteRows()
+				}
+			}
+		}()
+
+		res := benchResult{Dataset: name, Scale: h.scale, Shards: shards, Batch: len(queries)}
+		dur := time.Duration(seconds) * time.Second
+
+		closed := h.runPhase(ts, "/v1/lookup?query=0&key=", workers, 0, dur)
+		open := h.runPhase(ts, "/v1/lookup?query=0&key=", 0, rate, dur)
+		shed := h.runPhase(ts, "/v1/results/0?fresh=1", workers, 0, dur)
+
+		close(stopWriter)
+		writerWG.Wait()
+		st := sess.Stats()
+		res.WriteRounds = uint64(st.Rounds)
+		res.WrittenRows = writerRows
+		res.ServerSheded = srv.Shedded()
+		ts.Close()
+		sess.Close()
+
+		for _, p := range []struct {
+			label string
+			m     *phaseMetrics
+		}{{"closed", closed}, {"open", open}, {"shed(fresh)", shed}} {
+			pr := phaseResult{
+				Phase: p.label, Requests: len(p.m.lat),
+				RPS:   float64(len(p.m.lat)) / dur.Seconds(),
+				P50us: pctile(p.m.lat, 50), P90us: pctile(p.m.lat, 90),
+				P99us: pctile(p.m.lat, 99), MaxUs: pctile(p.m.lat, 100),
+				Degraded: p.m.degraded.Load(), Errors5xx: p.m.errs5xx.Load(),
+				FreshReads: p.m.fresh.Load(),
+			}
+			res.Phases = append(res.Phases, pr)
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.0f/s\t%dµs\t%dµs\t%dµs\t%dµs\t%d\t%d\n",
+				name, p.label, pr.Requests, pr.RPS, pr.P50us, pr.P90us, pr.P99us, pr.MaxUs, pr.Degraded, pr.Errors5xx)
+		}
+		results = append(results, res)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// phaseMetrics accumulates one load phase's outcomes.
+type phaseMetrics struct {
+	mu       sync.Mutex
+	lat      []time.Duration
+	degraded atomic.Int64
+	errs5xx  atomic.Int64
+	fresh    atomic.Int64
+}
+
+func (m *phaseMetrics) record(d time.Duration) {
+	m.mu.Lock()
+	m.lat = append(m.lat, d)
+	m.mu.Unlock()
+}
+
+// runPhase drives target for dur: closed-loop with `workers` back-to-back
+// clients when workers > 0, open-loop at `rate` arrivals/s otherwise.
+func (h *harness) runPhase(ts *httptest.Server, target string, workers, rate int, dur time.Duration) *phaseMetrics {
+	m := &phaseMetrics{}
+	deadline := time.Now().Add(dur)
+	hit := func(client *http.Client) {
+		start := time.Now()
+		resp, err := client.Get(ts.URL + target)
+		if err != nil {
+			m.errs5xx.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		m.record(time.Since(start))
+		if resp.StatusCode >= 500 {
+			m.errs5xx.Add(1)
+		}
+		if resp.Header.Get("X-Lmfao-Degraded") != "" {
+			m.degraded.Add(1)
+		} else if resp.StatusCode == http.StatusOK && resp.Header.Get("X-Lmfao-Epoch") != "" {
+			m.fresh.Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	if workers > 0 {
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := ts.Client()
+				for time.Now().Before(deadline) {
+					hit(client)
+				}
+			}()
+		}
+	} else {
+		interval := time.Second / time.Duration(max(rate, 1))
+		client := ts.Client()
+		for t := time.Now(); t.Before(deadline); t = time.Now() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hit(client)
+			}()
+			time.Sleep(interval)
+		}
+	}
+	wg.Wait()
+	return m
+}
+
+// applyWire renders one columnar delta as the ingest endpoint's row-major
+// JSON body.
+func applyWire(u data.Delta) map[string]any {
+	toRows := func(cols []data.Column) [][]float64 {
+		n := 0
+		if len(cols) > 0 {
+			if cols[0].Floats != nil {
+				n = len(cols[0].Floats)
+			} else {
+				n = len(cols[0].Ints)
+			}
+		}
+		rows := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, len(cols))
+			for c, col := range cols {
+				if col.Floats != nil {
+					row[c] = col.Floats[i]
+				} else {
+					row[c] = float64(col.Ints[i])
+				}
+			}
+			rows[i] = row
+		}
+		return rows
+	}
+	up := map[string]any{"relation": u.Relation}
+	if rows := toRows(u.Inserts); len(rows) > 0 {
+		up["inserts"] = rows
+	}
+	if rows := toRows(u.Deletes); len(rows) > 0 {
+		up["deletes"] = rows
+	}
+	return map[string]any{"updates": []any{up}}
+}
+
+// pctile returns the p-th percentile latency in microseconds (100 = max).
+func pctile(lat []time.Duration, p int) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p >= 100 {
+		return sorted[len(sorted)-1].Microseconds()
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Microseconds()
+}

@@ -1,0 +1,180 @@
+// Command lmfao-serve runs the network serving tier: an HTTP/JSON server
+// exposing the full serving contract — snapshot reads, ad-hoc requeries,
+// the five application workloads, and maintenance ingest with admission
+// control — over one maintainer, selectable between the in-memory session,
+// the sharded session, and their WAL-backed durable variants.
+//
+//	lmfao-serve -dataset retailer -scale 0.01 -shards 4
+//	lmfao-serve -dataset retailer -durable /var/lib/lmfao   # WAL-backed
+//
+// The served batch is the concatenation of the registered applications'
+// batches (covar ∪ polynomial ∪ MI ∪ cube); each application reads its
+// window via the carving API, so one maintenance round keeps every model's
+// aggregates fresh. See ARCHITECTURE.md, "Serving tier".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	lmfao "repro"
+	"repro/internal/datagen"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8347", "listen address")
+		dataset = flag.String("dataset", "retailer", "dataset: retailer, favorita, yelp, tpcds")
+		scale   = flag.Float64("scale", 0.01, "dataset scale factor")
+		seed    = flag.Int64("seed", 2019, "dataset generator seed")
+		threads = flag.Int("threads", 0, "engine threads (0 = engine default)")
+		shards  = flag.Int("shards", 1, "shard count (1 = unsharded session)")
+		durable = flag.String("durable", "", "WAL directory; non-empty selects the durable session (recovers existing state)")
+		rate    = flag.Float64("tenant-rate", 0, "per-tenant expensive-request rate limit, req/s (0 = unlimited)")
+		burst   = flag.Int("tenant-burst", 8, "per-tenant token-bucket burst")
+		maxRq   = flag.Int("max-requeries", 2, "max concurrent requeries/refinements")
+		maxPend = flag.Int("max-pending-applies", 16, "max in-flight async maintenance rounds")
+		maxRows = flag.Int("max-result-rows", 1000, "row cap on result dumps (-1 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataset, *scale, *seed, *threads, *shards, *durable,
+		serve.AdmissionOptions{TenantRate: *rate, TenantBurst: *burst, MaxRequeries: *maxRq, MaxPendingApplies: *maxPend},
+		*maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "lmfao-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset string, scale float64, seed int64, threads, shards int, durableDir string, adm serve.AdmissionOptions, maxRows int) error {
+	build, err := datagen.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	log.Printf("generating %s (scale %g, seed %d)", dataset, scale, seed)
+	ds, err := build(datagen.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	opts := lmfao.DefaultOptions()
+	if threads > 0 {
+		opts.Threads = threads
+	}
+
+	queries, apps := combinedBatch(ds)
+	m, kind, err := newMaintainer(ds.DB, queries, opts, shards, durableDir)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	log.Printf("maintainer: %s; batch: %d queries, apps: %v", kind, len(queries), apps.Names())
+
+	start := time.Now()
+	if _, err := m.Run(); err != nil {
+		return fmt.Errorf("initial batch run: %w", err)
+	}
+	log.Printf("batch computed in %v", time.Since(start).Round(time.Millisecond))
+
+	srv, err := serve.NewServer(serve.Config{
+		DB:            ds.DB,
+		Maintainer:    m,
+		Queries:       queries,
+		Apps:          apps,
+		Admission:     adm,
+		MaxResultRows: maxRows,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on http://%s", addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("got %v, shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("server drained; closing maintainer")
+	return nil
+}
+
+// newMaintainer selects the serving backend: plain or sharded session, WAL
+// backed when durableDir is set (recovering from the directory if it
+// already holds a checkpoint or log).
+func newMaintainer(db *lmfao.Database, queries []*lmfao.Query, opts lmfao.Options, shards int, durableDir string) (lmfao.Maintainer, string, error) {
+	switch {
+	case durableDir == "" && shards <= 1:
+		s, err := lmfao.NewSession(db, queries, opts)
+		return s, "session", err
+	case durableDir == "":
+		s, err := lmfao.NewShardedSession(db, queries, opts, lmfao.ShardOptions{Shards: shards})
+		return s, fmt.Sprintf("sharded session (%d shards)", shards), err
+	case shards <= 1:
+		if hasState(durableDir) {
+			s, err := lmfao.RecoverSession(durableDir, db, queries, opts, lmfao.DurableOptions{})
+			return s, "durable session (recovered)", err
+		}
+		s, err := lmfao.NewDurableSession(db, queries, opts, lmfao.DurableOptions{}, durableDir)
+		return s, "durable session", err
+	default:
+		if hasState(durableDir) {
+			s, err := lmfao.RecoverShardedSession(durableDir, db, queries, opts, lmfao.DurableOptions{})
+			return s, fmt.Sprintf("durable sharded session (recovered, %d shards)", shards), err
+		}
+		s, err := lmfao.NewDurableShardedSession(db, queries, opts, lmfao.ShardOptions{Shards: shards}, lmfao.DurableOptions{}, durableDir)
+		return s, fmt.Sprintf("durable sharded session (%d shards)", shards), err
+	}
+}
+
+// hasState reports whether dir already holds durable session state.
+func hasState(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	return err == nil && len(entries) > 0
+}
+
+// combinedBatch concatenates the applications' canonical batches over the
+// dataset and records each one's window for the serving tier.
+func combinedBatch(ds *datagen.Dataset) ([]*lmfao.Query, *serve.Apps) {
+	linSpec := workloads.LinRegSpec(ds)
+	polySpec := lmfao.PolySpec{Continuous: ds.Continuous, Label: ds.Label, Lambda: 1e-3}
+	cubeSpec := lmfao.CubeSpec{Dims: ds.CubeDims, Measures: ds.CubeMeasures}
+	treeSpec := workloads.RTSpec(ds)
+
+	var queries []*lmfao.Query
+	window := func(batch []*lmfao.Query) serve.Window {
+		lo := len(queries)
+		queries = append(queries, batch...)
+		return serve.Window{Lo: lo, Hi: len(queries)}
+	}
+	apps := &serve.Apps{}
+	apps.LinReg = &serve.LinRegApp{Win: window(lmfao.CovarBatch(linSpec)), Spec: linSpec}
+	apps.PolyReg = &serve.PolyRegApp{Win: window(lmfao.PolynomialBatch(ds.DB, polySpec)), Spec: polySpec}
+	apps.ChowLiu = &serve.ChowLiuApp{Win: window(lmfao.MIBatch(ds.MIAttrs)), Attrs: ds.MIAttrs}
+	apps.Cube = &serve.CubeApp{Win: window(lmfao.CubeBatch(cubeSpec)), Spec: cubeSpec}
+	apps.Tree = &serve.TreeApp{Spec: treeSpec}
+	return queries, apps
+}

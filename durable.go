@@ -89,6 +89,9 @@ type DurableSession struct {
 	// Worker-private state.
 	sinceCkpt int
 	wedged    error
+	// wedgedPub mirrors wedged for lock-free observation by other
+	// goroutines (Wedged); only the worker stores into it.
+	wedgedPub atomic.Value
 
 	// failCkpt arms the pre-fsync checkpoint crash point (testing).
 	failCkpt atomic.Bool
@@ -311,7 +314,7 @@ func (d *DurableSession) applyLogged(updates []Update) ([]*ApplyStats, error) {
 			// the log writer is wedged (crashed or failing), and so is the
 			// session — the remaining updates are neither logged nor
 			// applied. Recover from the directory.
-			d.wedged = err
+			d.wedge(err)
 			return out, err
 		}
 		stats, err := d.sess.Apply(u)
@@ -352,7 +355,7 @@ func (d *DurableSession) checkpoint() error {
 		return nil
 	}
 	if err := d.log.Sync(); err != nil {
-		d.wedged = err
+		d.wedge(err)
 		return err
 	}
 	db := s.eng.DB()
@@ -378,7 +381,7 @@ func (d *DurableSession) checkpoint() error {
 	}
 	if err := wal.WriteCheckpoint(ckptDir(d.dir), ck, d.failCkpt.Swap(false)); err != nil {
 		if errors.Is(err, wal.ErrInjectedCrash) {
-			d.wedged = err
+			d.wedge(err)
 		}
 		return err
 	}
@@ -519,6 +522,24 @@ func (d *DurableSession) shutdown(kill bool) {
 // wedges the session with wal.ErrInjectedCrash — the on-disk state of a
 // process dying mid-append. Fault injection for crash-recovery testing.
 func (d *DurableSession) CrashAfterAppends(n int) { d.log.CrashAfterAppends(n) }
+
+// wedge records the sticky failure that wedged the session (worker only).
+func (d *DurableSession) wedge(err error) {
+	d.wedged = err
+	d.wedgedPub.Store(err)
+}
+
+// Wedged returns the sticky error that wedged the session, or nil while it
+// is healthy. A wedged session fails every further maintenance call with
+// the same error while its published snapshots stay readable; recover from
+// the directory. Safe for concurrent use (the serving tier maps a wedged
+// maintainer to 503).
+func (d *DurableSession) Wedged() error {
+	if v := d.wedgedPub.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
 
 // CrashNextCheckpoint arms the checkpoint crash point: the next checkpoint
 // writes its bytes but dies before fsync/rename, leaving only a stale .tmp

@@ -195,6 +195,12 @@ func (s *DurableShardedSession) Dir() string { return s.dir }
 // Run computes the batch on every shard in parallel (each shard writes its
 // own covering checkpoint), records one coordinated checkpoint line, and
 // returns the first merged snapshot.
+//
+// Unlike ShardedSession.Run, a FAILED durable Run is not atomic across
+// shards: each shard's publish is coupled to its covering checkpoint, so
+// shards that succeeded have already durably republished when the error
+// returns. Recover the failing shard (or call Run again) before trusting
+// merged reads; a repeat Run re-publishes every shard.
 func (s *DurableShardedSession) Run() (Queryable, error) {
 	if s.closed.Load() {
 		return nil, errSessionClosed

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AdmissionOptions configures the server's admission control: how much
+// expensive work (requeries, model fits, maintenance writes) each tenant may
+// push through before the server starts shedding. Cheap snapshot reads are
+// never limited — they are lock-free pointer loads and the whole point of
+// the snapshot architecture is that reads stay cheap under write pressure.
+type AdmissionOptions struct {
+	// TenantRate is the sustained token refill rate, in expensive requests
+	// per second, of each tenant's token bucket (0 disables rate limiting).
+	// Tenants are identified by the X-Lmfao-Tenant header, falling back to
+	// the client host.
+	TenantRate float64
+	// TenantBurst is the bucket capacity — how many expensive requests a
+	// tenant may burst before the rate applies (default 8 when rate > 0).
+	TenantBurst int
+	// MaxRequeries bounds concurrently executing requeries/refinements
+	// (default 2). Requeries serialize with maintenance per shard, so a
+	// requery storm would stall the write path; excess fresh reads degrade
+	// to the published snapshot and excess explicit requeries get 429.
+	MaxRequeries int
+	// MaxPendingApplies bounds in-flight asynchronous maintenance rounds
+	// (default 16). When the backlog is full, async applies get 429 with
+	// Retry-After instead of growing an unbounded queue.
+	MaxPendingApplies int
+
+	// now overrides the clock for tests.
+	now func() time.Time
+}
+
+func (o AdmissionOptions) norm() AdmissionOptions {
+	if o.TenantBurst <= 0 {
+		o.TenantBurst = 8
+	}
+	if o.MaxRequeries <= 0 {
+		o.MaxRequeries = 2
+	}
+	if o.MaxPendingApplies <= 0 {
+		o.MaxPendingApplies = 16
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission holds the server's admission-control state: per-tenant token
+// buckets plus two semaphores bounding the expensive work classes.
+type admission struct {
+	opts AdmissionOptions
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	requerySem chan struct{}
+	applySem   chan struct{}
+}
+
+func newAdmission(opts AdmissionOptions) *admission {
+	opts = opts.norm()
+	return &admission{
+		opts:       opts,
+		buckets:    make(map[string]*bucket),
+		requerySem: make(chan struct{}, opts.MaxRequeries),
+		applySem:   make(chan struct{}, opts.MaxPendingApplies),
+	}
+}
+
+// tenant extracts the caller's tenant identity: the X-Lmfao-Tenant header,
+// else the client host (stable across one client's connections).
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Lmfao-Tenant"); t != "" {
+		return t
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// allow takes one token from the tenant's bucket, reporting false when the
+// tenant is over its rate. With rate limiting disabled it always admits.
+func (a *admission) allow(tenant string) bool {
+	if a.opts.TenantRate <= 0 {
+		return true
+	}
+	now := a.opts.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(a.opts.TenantBurst), last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.opts.TenantRate
+	b.last = now
+	if cap := float64(a.opts.TenantBurst); b.tokens > cap {
+		b.tokens = cap
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tryRequery claims a requery slot without blocking; the caller must invoke
+// the returned release exactly once. ok=false means the refinement tier is
+// saturated — degrade to the snapshot or reject, per endpoint policy.
+func (a *admission) tryRequery() (release func(), ok bool) {
+	select {
+	case a.requerySem <- struct{}{}:
+		return func() { <-a.requerySem }, true
+	default:
+		return nil, false
+	}
+}
+
+// tryApply claims an async-apply backlog slot without blocking; the caller
+// must invoke the returned release exactly once (when the round commits).
+func (a *admission) tryApply() (release func(), ok bool) {
+	select {
+	case a.applySem <- struct{}{}:
+		return func() { <-a.applySem }, true
+	default:
+		return nil, false
+	}
+}
+
+// pendingApplies reports the current async backlog depth.
+func (a *admission) pendingApplies() int { return len(a.applySem) }

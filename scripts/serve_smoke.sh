@@ -1,0 +1,97 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the serving tier.
+#
+# Builds lmfao-serve, starts it on a small retailer dataset, hits every
+# endpoint class asserting the expected status, and shuts the server down
+# cleanly with SIGTERM. Exits non-zero on the first failed assertion or an
+# unclean shutdown.
+set -eu
+
+ADDR="127.0.0.1:18467"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/lmfao-serve"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/lmfao-serve
+
+"$BIN" -dataset retailer -scale 0.002 -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the initial batch run to publish (healthz turns published:true).
+i=0
+until curl -sf "$BASE/healthz" 2>/dev/null | grep -q '"published":true'; do
+  i=$((i + 1))
+  if [ "$i" -gt 120 ]; then
+    echo "server never became ready; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 1
+done
+
+fail=0
+check() {
+  # check METHOD PATH EXPECTED_STATUS [BODY]
+  method="$1" path="$2" want="$3" body="${4:-}"
+  if [ -n "$body" ]; then
+    got=$(curl -s -o /dev/null -w '%{http_code}' -X "$method" -d "$body" "$BASE$path")
+  else
+    got=$(curl -s -o /dev/null -w '%{http_code}' -X "$method" "$BASE$path")
+  fi
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $method $path = $got, want $want" >&2
+    fail=1
+  else
+    echo "ok: $method $path = $got"
+  fi
+}
+
+# Snapshot reads.
+check GET /healthz 200
+check GET /v1/meta 200
+check GET /v1/epochs 200
+check GET /v1/versions 200
+check GET /v1/stats 200
+check GET /v1/results/0 200
+check GET '/v1/results/0?fresh=1' 200
+check GET '/v1/lookup?query=0&key=' 200
+# Error paths: out-of-range index is 404, not a panic.
+check GET /v1/results/99999 404
+check GET '/v1/lookup?query=99999&key=' 404
+# Ad-hoc requery (compact wire syntax).
+check POST /v1/requery 200 '{"queries":["smoke(SUM 1)"]}'
+check POST /v1/requery 400 '{"queries":["nonsense"]}'
+# Maintenance ingest: sync and async (Inventory: locn,dateid,ksn,units).
+check POST /v1/apply 200 '{"updates":[{"relation":"Inventory","inserts":[[1,1,1,5]]}]}'
+check POST '/v1/apply?mode=async' 202 '{"updates":[{"relation":"Inventory","inserts":[[1,1,2,5]]}]}'
+check POST /v1/apply 400 '{"updates":[{"relation":"NoSuch","inserts":[[1]]}]}'
+# Applications: every fit endpoint, plus a predictor error path.
+check POST /v1/models/linreg/fit 200
+check POST /v1/models/polyreg/fit 200
+check POST /v1/models/chowliu/fit 200
+check POST /v1/models/cube/fit 200
+check POST /v1/models/tree/fit 200
+check POST /v1/models/nosuch/fit 404
+
+# Degraded read proof: the epoch header must be present on reads.
+if ! curl -si "$BASE/v1/results/0" | grep -qi '^X-Lmfao-Epoch:'; then
+  echo "FAIL: /v1/results/0 missing X-Lmfao-Epoch header" >&2
+  fail=1
+fi
+
+# Clean shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  echo "FAIL: server exited non-zero on SIGTERM; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+trap - EXIT
+
+if [ "$fail" -ne 0 ]; then
+  echo "smoke test FAILED; server log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "serve smoke test passed"

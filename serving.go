@@ -113,6 +113,13 @@ type Maintainer interface {
 	Close()
 }
 
+// ErrSessionClosed is the sentinel error every Maintainer returns from
+// Run/Apply/ApplyAsync once Close has been called (match with errors.Is).
+// Serving-tier code uses it to distinguish a permanently shut-down
+// maintainer — published snapshots stay readable — from a transient
+// maintenance failure.
+var ErrSessionClosed = errSessionClosed
+
 // RunQueryable evaluates the batch once on eng and wraps the result in the
 // serving contract: an immutable *Snapshot (epoch 1) answering Queryable
 // reads from the materialized outputs, with Requery backed by eng. It is

@@ -303,6 +303,37 @@ func (s *Session) runLocked() (*BatchResult, error) {
 	return res, nil
 }
 
+// stageRun computes the batch from scratch WITHOUT publishing. On success it
+// holds the writer mutex and returns a finish function that must be called
+// exactly once: finish(true) publishes the staged result as the next
+// snapshot, finish(false) discards it — the mutex is released either way and
+// the session's maintained state is untouched on discard (the engine run
+// mutates no base data, only internal caches). On error nothing is staged
+// and no lock is held.
+//
+// ShardedSession.Run stages every shard first and publishes only when all of
+// them succeeded, so a failed shard never leaves readers with a mix of
+// recomputed and stale shard components.
+func (s *Session) stageRun() (func(commit bool), error) {
+	s.writerMu.Lock()
+	if s.closed.Load() {
+		s.writerMu.Unlock()
+		return nil, errSessionClosed
+	}
+	res, err := s.eng.Run(s.queries)
+	if err != nil {
+		s.writerMu.Unlock()
+		return nil, err
+	}
+	return func(commit bool) {
+		if commit {
+			s.res = res
+			s.publishLocked(res, nil)
+		}
+		s.writerMu.Unlock()
+	}, nil
+}
+
 // Result returns the latest published batch result (nil before the first
 // Run) — Snapshot().Batch() without the version metadata. Like a snapshot,
 // the returned result is immutable and safe to read concurrently with

@@ -138,3 +138,33 @@ func TestDurableCloseThenRecover(t *testing.T) {
 		t.Fatalf("recovered LSN %d, want %d", got, want)
 	}
 }
+
+// TestSessionSnapshotInterfaceNil audits the typed-nil hazard on
+// Maintainer.Snapshot: before the first Run, every maintainer kind must
+// return an UNTYPED nil Queryable — never a (*Snapshot)(nil) wrapped in the
+// interface, which would compare non-nil and crash serving-tier
+// `snapshot == nil` guards. Covers all four Maintainer implementations.
+func TestSessionSnapshotInterfaceNil(t *testing.T) {
+	for name, m := range closeFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			defer m.Close()
+			if sn := m.Snapshot(); sn != nil {
+				t.Fatalf("Snapshot() before Run = %#v (%T), want untyped nil", sn, sn)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if sn := m.Snapshot(); sn == nil {
+				t.Fatal("Snapshot() nil after Run")
+			}
+		})
+	}
+}
+
+// TestErrSessionClosedExported pins the exported sentinel to the one every
+// maintainer actually returns, so errors.Is works across the API boundary.
+func TestErrSessionClosedExported(t *testing.T) {
+	if !errors.Is(ErrSessionClosed, errSessionClosed) {
+		t.Fatal("ErrSessionClosed is not errSessionClosed")
+	}
+}

@@ -267,24 +267,48 @@ func (s *ShardedSession) Stats() ShardedStats {
 // Run computes the batch on every shard (in parallel) and returns the first
 // merged snapshot. Like Session.Run it can be called again to force a full
 // recompute everywhere.
+//
+// Run is atomic across shards: every shard stages its recomputed result
+// first (Session.stageRun), and the per-shard snapshots are published only
+// when all of them succeeded. A failed Run therefore changes nothing
+// observable — every shard keeps serving its previous snapshot, and Head
+// never merges recomputed shards with stale ones.
 func (s *ShardedSession) Run() (Queryable, error) {
+	// Hold the enqueue read lock for the whole recompute (the ApplyAsync
+	// pattern, but for the call's duration): Run executes against the shard
+	// sessions, and a Close racing it must block until the recompute is
+	// done rather than tear the session down mid-flight.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return nil, errSessionClosed
 	}
+	finishes := make([]func(bool), len(s.sessions))
 	errs := make([]error, len(s.sessions))
 	var wg sync.WaitGroup
 	for i, sess := range s.sessions {
 		wg.Add(1)
 		go func(i int, sess *Session) {
 			defer wg.Done()
-			_, errs[i] = sess.Run()
+			finishes[i], errs[i] = sess.stageRun()
 		}(i, sess)
 	}
 	wg.Wait()
+	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("lmfao: shard %d: %w", i, err)
+			firstErr = fmt.Errorf("lmfao: shard %d: %w", i, err)
+			break
 		}
+	}
+	commit := firstErr == nil
+	for _, finish := range finishes {
+		if finish != nil {
+			finish(commit)
+		}
+	}
+	if !commit {
+		return nil, firstErr
 	}
 	return s.Head(), nil
 }

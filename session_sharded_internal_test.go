@@ -14,6 +14,67 @@ func delU(rel string, keys []int64, vals []float64) Update {
 	return Update{Relation: rel, Deletes: []data.Column{data.NewIntColumn(keys), data.NewFloatColumn(vals)}}
 }
 
+// TestShardedRunPartialFailureAtomic pins the staged-publish contract of
+// ShardedSession.Run: when one shard's recompute fails, NO shard publishes —
+// the merged head keeps serving the pre-Run epochs and values instead of
+// mixing recomputed shards with stale ones. The failing shard is injected by
+// closing one shard session directly: its stageRun then fails
+// deterministically with errSessionClosed while its already-published
+// snapshot stays readable for the post-failure assertions.
+func TestShardedRunPartialFailureAtomic(t *testing.T) {
+	db := NewDatabase()
+	store := db.Attr("store", Key)
+	amount := db.Attr("amount", Numeric)
+	if err := db.AddRelation(NewRelation("sales",
+		[]AttrID{store, amount},
+		[]Column{IntColumn([]int64{0, 1, 2, 3}), FloatColumn([]float64{1, 2, 3, 4})})); err != nil {
+		t.Fatal(err)
+	}
+	queries := []*Query{NewQuery("total", nil, Sum(amount), Count())}
+	s, err := NewShardedSession(db, queries, DefaultOptions(), ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A second full Run publishes on every shard: epochs advance in
+	// lock-step. This is the all-success half of the atomicity contract.
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	head := s.Head()
+	preEpochs := head.Epochs()
+	if preEpochs[0] != 2 || preEpochs[1] != 2 {
+		t.Fatalf("epochs after two Runs = %v, want [2 2]", preEpochs)
+	}
+	preRow, ok := head.Lookup(0)
+	if !ok {
+		t.Fatal("scalar lookup failed on first snapshot")
+	}
+
+	// Inject a failing shard: close shard 1's session, so its stageRun
+	// errors while shard 0's succeeds. Before the staged-publish fix, shard
+	// 0 published its recompute before Run returned the error, leaving the
+	// head a mix of epoch 3 (shard 0) and epoch 2 (shard 1).
+	s.sessions[1].Close()
+	if _, err := s.Run(); err == nil {
+		t.Fatal("Run with a failing shard did not error")
+	}
+	post := s.Head()
+	postEpochs := post.Epochs()
+	for i := range preEpochs {
+		if postEpochs[i] != preEpochs[i] {
+			t.Fatalf("shard %d epoch advanced across a failed Run: %d -> %d (partial publish)",
+				i, preEpochs[i], postEpochs[i])
+		}
+	}
+	if row, ok := post.Lookup(0); !ok || row[0] != preRow[0] || row[1] != preRow[1] {
+		t.Fatalf("merged lookup changed across a failed Run: %v -> %v (ok=%v)", preRow, row, ok)
+	}
+}
+
 func TestCoalesceUpdates(t *testing.T) {
 	updates := []Update{
 		insU("F", []int64{1}, []float64{10}), // job 0

@@ -1,6 +1,9 @@
 package lmfao_test
 
 import (
+	"errors"
+	"runtime"
+	"sync"
 	"testing"
 
 	lmfao "repro"
@@ -403,5 +406,65 @@ func TestShardedSessionDefaults(t *testing.T) {
 	total, ok := sn.Lookup(0)
 	if !ok || total[0] != 21 || total[1] != 21 {
 		t.Fatalf("scalar lookup = %v ok=%v, want [21 21]", total, ok)
+	}
+}
+
+// TestShardedSessionRunCloseRace is the regression test for Run racing
+// Close: Run used to check the closed flag without taking the enqueue read
+// lock (unlike ApplyAsync), so a concurrent Close could tear the session
+// down while Run executed against the shard sessions. Run now holds
+// closeMu.RLock for the duration; this test hammers the pair under the race
+// detector and pins the post-Close contract.
+func TestShardedSessionRunCloseRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		db, _, amount, region := shardTestDB(t,
+			[]int64{0, 1, 2, 3, 4, 5}, []float64{1, 2, 3, 4, 5, 6},
+			func(s int64) int64 { return s % 2 })
+		queries := []*lmfao.Query{
+			lmfao.NewQuery("total", nil, lmfao.Sum(amount)),
+			lmfao.NewQuery("by_region", []lmfao.AttrID{region}, lmfao.Count()),
+		}
+		s, err := lmfao.NewShardedSession(db, queries, lmfao.DefaultOptions(), lmfao.ShardOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for {
+				sn, err := s.Run()
+				if err != nil {
+					if !errors.Is(err, lmfao.ErrSessionClosed) {
+						t.Errorf("Run failed with %v, want ErrSessionClosed", err)
+					}
+					return
+				}
+				if sn == nil {
+					t.Error("successful Run returned a nil snapshot")
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			runtime.Gosched()
+			s.Close()
+		}()
+		wg.Wait()
+		if _, err := s.Run(); !errors.Is(err, lmfao.ErrSessionClosed) {
+			t.Fatalf("Run after Close: err = %v, want ErrSessionClosed", err)
+		}
+		// The last published snapshot must survive the shutdown intact.
+		sn := s.Head()
+		if sn == nil {
+			t.Fatal("snapshot gone after Close")
+		}
+		if _, ok := sn.Lookup(0); !ok {
+			t.Fatal("scalar lookup failed on post-Close snapshot")
+		}
 	}
 }
