@@ -55,6 +55,8 @@ func main() {
 
 		kernels = flag.Bool("kernels", false, "benchmark compiled maintenance kernels vs interpreted maintenance vs recompute (default dataset: retailer; uses -update-frac and -update-batches; writes BENCH_kernels.json unless -bench-json overrides)")
 
+		monoidMode = flag.Bool("monoid", false, "benchmark maintained monoid aggregates (MIN/MAX, COUNT DISTINCT, top-k) vs recompute under dimension deltas (default dataset: retailer; uses -update-frac and -update-batches; writes BENCH_monoid.json unless -bench-json overrides)")
+
 		walMode    = flag.Bool("wal", false, "benchmark WAL-logged vs unlogged maintenance and recovery time vs log-suffix length (default dataset: retailer; uses -update-frac; writes BENCH_wal.json unless -bench-json overrides)")
 		walBatches = flag.Int("wal-batches", 32, "update batches for the -wal logged-vs-unlogged stream")
 
@@ -157,6 +159,30 @@ func main() {
 		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
 		if err := h.serveBench(updateDatasets(*datasets), *serveWorkers, *serveRate, *serveSeconds, path); err != nil {
 			fmt.Fprintf(os.Stderr, "lmfao-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *monoidMode {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			// The re-fold-vs-recompute gap only shows against a non-toy fact
+			// scan; match the maintenance-bench scale.
+			*scale = 0.01
+		}
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_monoid.json"
+		}
+		h := &harness{scale: *scale, seed: *seed, runs: *runs, threads: *threads}
+		if err := h.monoidBench(updateDatasets(*datasets), *updateFrac, *updateBatches, path); err != nil {
+			fmt.Fprintf(os.Stderr, "lmfao-bench: monoid: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -254,14 +254,16 @@ func restoreCheckpoint(sess *Session, queries []*Query, ck *wal.Checkpoint) erro
 			return fmt.Errorf("lmfao: checkpoint is missing materialized bag %q — recover with the session's original database", node.Rel.Name)
 		}
 	}
-	res := &moo.BatchResult{Plan: plan, Materialized: ck.Views, Versions: ck.Versions}
-	res.Results = make([]*Result, len(plan.Queries))
 	for qi, vid := range plan.OutputView {
-		v := ck.Views[vid]
-		if v == nil {
+		if ck.Views[vid] == nil {
 			return fmt.Errorf("lmfao: checkpoint is missing the output view of query %d", qi)
 		}
-		res.Results[qi] = v
+	}
+	// Checkpoints persist the raw view DAG; user-visible results (including
+	// monoid columns folded from support views) are re-assembled from it.
+	res, err := moo.NewBatchFromMaterialized(plan, ck.Views, ck.Versions)
+	if err != nil {
+		return err
 	}
 	sess.restoreResult(res)
 	return nil

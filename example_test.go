@@ -293,3 +293,64 @@ func ExampleDurableSession() {
 	// region 0: 26
 	// region 1: 3
 }
+
+// ExampleSession_monoidAggregates maintains aggregates outside the
+// sum-product semiring — MIN, MAX and top-k per group — under deletes.
+// These cannot subtract a removed tuple the way a SUM can; the planner
+// compiles each one to an internal count-valued support view, and a delete
+// that shrinks a group's support re-folds exactly that group's columns.
+func ExampleSession_monoidAggregates() {
+	db := lmfao.NewDatabase()
+	store := db.Attr("store", lmfao.Key)
+	item := db.Attr("item", lmfao.Categorical)
+	region := db.Attr("region", lmfao.Categorical)
+	if err := db.AddRelation(lmfao.NewRelation("Sales",
+		[]lmfao.AttrID{store, item},
+		[]lmfao.Column{
+			lmfao.IntColumn([]int64{0, 0, 1, 2, 2}),
+			lmfao.IntColumn([]int64{5, 3, 8, 7, 2}),
+		})); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddRelation(lmfao.NewRelation("Stores",
+		[]lmfao.AttrID{store, region},
+		[]lmfao.Column{
+			lmfao.IntColumn([]int64{0, 1, 2}),
+			lmfao.IntColumn([]int64{0, 0, 1}),
+		})); err != nil {
+		log.Fatal(err)
+	}
+
+	// The wire form of this query is "extrema(region; SUM 1, MIN item,
+	// MAX item, TOP2 item)" — see /v1/requery in cmd/lmfao-serve.
+	q := lmfao.NewQuery("extrema", []lmfao.AttrID{region}, lmfao.Count())
+	q.MonoidAggs = []lmfao.MonoidAgg{
+		lmfao.MinOf(item), lmfao.MaxOf(item), lmfao.TopKOf(item, 2)}
+	sess, err := lmfao.NewSession(db, []*lmfao.Query{q}, lmfao.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	row := func(region int64) {
+		res := sess.Result().Results[0]
+		i := res.Lookup(region)
+		fmt.Printf("region %d: n=%g min=%g max=%g top2=[%g %g]\n", region,
+			res.Val(i, 0), res.Val(i, 1), res.Val(i, 2), res.Val(i, 3), res.Val(i, 4))
+	}
+	row(0)
+	row(1)
+
+	// Deleting region 0's maximum (item 8) cannot be subtracted — the
+	// session re-folds the group over its surviving support.
+	if _, err := sess.Apply(lmfao.DeleteRows("Sales",
+		lmfao.IntColumn([]int64{1}), lmfao.IntColumn([]int64{8}))); err != nil {
+		log.Fatal(err)
+	}
+	row(0)
+	// Output:
+	// region 0: n=3 min=3 max=8 top2=[8 5]
+	// region 1: n=2 min=2 max=7 top2=[7 2]
+	// region 0: n=2 min=3 max=5 top2=[5 3]
+}

@@ -21,8 +21,9 @@ import (
 type Result struct {
 	Query   *query.Query
 	GroupBy []data.AttrID
-	// Rows maps data.PackKey(groupByValues...) to aggregate values in
-	// query aggregate order.
+	// Rows maps data.PackKey(groupByValues...) to aggregate values: the
+	// query's sum aggregates in query order, then each monoid aggregate's
+	// finalized columns (Query.NumCols values in total).
 	Rows map[string][]float64
 }
 
@@ -123,14 +124,27 @@ func RunOverFlat(db *data.Database, flat *data.Relation, q *query.Query) (*Resul
 			specs[ai] = append(specs[ai], ts)
 		}
 	}
+	fold, err := newGroupFold(q)
+	if err != nil {
+		return nil, err
+	}
+	mCols := make([]data.Column, len(q.MonoidAggs))
+	for mi, m := range q.MonoidAggs {
+		c, ok := flat.Col(m.Attr)
+		if !ok {
+			return nil, fmt.Errorf("baseline: attribute %q not in join result", db.Attribute(m.Attr).Name)
+		}
+		mCols[mi] = c
+	}
 
 	if len(q.GroupBy) == 0 {
 		// Scalar queries always deliver one (possibly zero-valued) row.
-		res.Rows[""] = make([]float64, len(q.Aggs))
+		res.Rows[""] = make([]float64, q.NumCols())
 	}
 
 	key := make([]int64, len(q.GroupBy))
 	buf := make([]byte, 0, 8*len(q.GroupBy))
+	mVals := make([]int64, len(q.MonoidAggs))
 	for r := 0; r < flat.Len(); r++ {
 		for i, c := range gbCols {
 			key[i] = c.Int(r)
@@ -138,7 +152,7 @@ func RunOverFlat(db *data.Database, flat *data.Relation, q *query.Query) (*Resul
 		buf = data.AppendKey(buf[:0], key...)
 		row, ok := res.Rows[string(buf)]
 		if !ok {
-			row = make([]float64, len(q.Aggs))
+			row = make([]float64, q.NumCols())
 			res.Rows[string(buf)] = row
 		}
 		for ai := range specs {
@@ -150,6 +164,15 @@ func RunOverFlat(db *data.Database, flat *data.Relation, q *query.Query) (*Resul
 				row[ai] += v
 			}
 		}
+		if fold != nil {
+			for mi, c := range mCols {
+				mVals[mi] = c.Int(r)
+			}
+			fold.absorb(string(buf), mVals)
+		}
+	}
+	if fold != nil {
+		fold.finalize(q, res.Rows)
 	}
 	return res, nil
 }

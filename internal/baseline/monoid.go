@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"repro/internal/monoid"
+	"repro/internal/query"
+)
+
+// groupFold accumulates per-group monoid aggregate states during a join
+// scan — the brute-force twin of the engine's support-view fold. Both scan
+// paths (RunOverFlat, RunStreaming) feed every join tuple's monoid-attr
+// values through absorb and finalize the states into the trailing result
+// columns afterwards, so the oracle evaluates any registered monoid by
+// definition: fold over the group's join tuples.
+type groupFold struct {
+	ms []monoid.Monoid
+	st map[string][]monoid.State
+}
+
+// newGroupFold resolves the query's monoid instances; nil when the query
+// has no monoid aggregates.
+func newGroupFold(q *query.Query) (*groupFold, error) {
+	if len(q.MonoidAggs) == 0 {
+		return nil, nil
+	}
+	g := &groupFold{st: make(map[string][]monoid.State)}
+	for _, m := range q.MonoidAggs {
+		inst, err := m.Instance()
+		if err != nil {
+			return nil, err
+		}
+		g.ms = append(g.ms, inst)
+	}
+	return g, nil
+}
+
+// absorb folds one join tuple's monoid-attr values (one per monoid
+// aggregate, query order) into the group keyed by key.
+func (g *groupFold) absorb(key string, vals []int64) {
+	st := g.st[key]
+	if st == nil {
+		st = make([]monoid.State, len(g.ms))
+		g.st[key] = st
+	}
+	for mi, m := range g.ms {
+		x := m.Lift(vals[mi])
+		if st[mi] == nil {
+			st[mi] = x
+		} else {
+			st[mi] = m.Combine(st[mi], x)
+		}
+	}
+}
+
+// finalize writes every group's finalized monoid columns after the sum
+// columns; groups absorb never saw (the scalar empty-join row) finalize the
+// identity.
+func (g *groupFold) finalize(q *query.Query, rows map[string][]float64) {
+	for key, row := range rows {
+		st := g.st[key]
+		off := len(q.Aggs)
+		for mi, m := range g.ms {
+			w := q.MonoidAggs[mi].Width()
+			var s monoid.State
+			if st != nil {
+				s = st[mi]
+			}
+			if s == nil {
+				s = m.Identity()
+			}
+			m.Finalize(s, row[off:off+w])
+			off += w
+		}
+	}
+}

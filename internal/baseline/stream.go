@@ -91,7 +91,7 @@ func (s *Streamer) RunStreaming(q *query.Query) (*Result, error) {
 	}
 	res := &Result{Query: q, GroupBy: q.GroupBy, Rows: make(map[string][]float64)}
 	if len(q.GroupBy) == 0 {
-		res.Rows[""] = make([]float64, len(q.Aggs))
+		res.Rows[""] = make([]float64, q.NumCols())
 	}
 
 	// Resolve group-by and factor sources.
@@ -119,10 +119,19 @@ func (s *Streamer) RunStreaming(q *query.Query) (*Result, error) {
 			specs[ai] = append(specs[ai], ts)
 		}
 	}
+	fold, err := newGroupFold(q)
+	if err != nil {
+		return nil, err
+	}
+	mRefs := make([]homeRef, len(q.MonoidAggs))
+	for mi, m := range q.MonoidAggs {
+		mRefs[mi] = s.attrHome[m.Attr]
+	}
 
 	curRows := make([]int32, len(s.order))
 	key := make([]int64, len(q.GroupBy))
 	buf := make([]byte, 0, 8*len(q.GroupBy))
+	mVals := make([]int64, len(q.MonoidAggs))
 	emit := func() {
 		for i, ref := range gbRefs {
 			key[i] = ref.col.Int(int(curRows[ref.pos]))
@@ -130,7 +139,7 @@ func (s *Streamer) RunStreaming(q *query.Query) (*Result, error) {
 		buf = data.AppendKey(buf[:0], key...)
 		row, ok := res.Rows[string(buf)]
 		if !ok {
-			row = make([]float64, len(q.Aggs))
+			row = make([]float64, q.NumCols())
 			res.Rows[string(buf)] = row
 		}
 		for ai := range specs {
@@ -141,6 +150,12 @@ func (s *Streamer) RunStreaming(q *query.Query) (*Result, error) {
 				}
 				row[ai] += v
 			}
+		}
+		if fold != nil {
+			for mi, ref := range mRefs {
+				mVals[mi] = ref.col.Int(int(curRows[ref.pos]))
+			}
+			fold.absorb(string(buf), mVals)
 		}
 	}
 
@@ -168,6 +183,9 @@ func (s *Streamer) RunStreaming(q *query.Query) (*Result, error) {
 	for r := 0; r < root.Rel.Len(); r++ {
 		curRows[0] = int32(r)
 		enumerate(1)
+	}
+	if fold != nil {
+		fold.finalize(q, res.Rows)
 	}
 	return res, nil
 }

@@ -43,8 +43,18 @@ type Stats struct {
 // Plan is the fully optimized logical plan for a batch: the consolidated
 // directional views, the query output views, and the grouped execution order.
 type Plan struct {
-	Tree    *jointree.Tree
+	Tree *jointree.Tree
+	// Queries is the planned batch: the first UserQueries entries are the
+	// caller's queries (cloned with a hidden placeholder count aggregate
+	// when a query has monoid aggregates but no sum aggregates), followed
+	// by the internal support queries synthesized for monoid aggregates.
 	Queries []*query.Query
+	// UserQueries is the number of caller queries; Queries[UserQueries:]
+	// are internal support queries.
+	UserQueries int
+	// Monoids[i] is user query i's monoid plan, nil for pure sum-product
+	// queries (always nil for support-query indexes).
+	Monoids []*MonoidSpec
 	Roots   []int
 	// Views lists merged internal views followed by one output view per
 	// query; IDs equal slice positions.
@@ -77,6 +87,11 @@ func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Pla
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: empty query batch")
 	}
+	userCount := len(queries)
+	queries, monoids, err := expandMonoids(queries)
+	if err != nil {
+		return nil, err
+	}
 	for _, q := range queries {
 		if err := q.Validate(t.DB); err != nil {
 			return nil, err
@@ -100,6 +115,8 @@ func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Pla
 	p := &Plan{
 		Tree:         t,
 		Queries:      queries,
+		UserQueries:  userCount,
+		Monoids:      append(monoids, make([]*MonoidSpec, len(queries)-userCount)...),
 		Roots:        roots,
 		Views:        views,
 		OutputView:   make([]int, len(queries)),
@@ -118,8 +135,12 @@ func BuildPlan(t *jointree.Tree, queries []*query.Query, opts PlanOptions) (*Pla
 			p.Stats.Views++
 		}
 	}
-	for _, q := range queries {
-		p.Stats.AppAggregates += len(q.Aggs)
+	for qi, q := range queries[:userCount] {
+		n := len(q.Aggs)
+		if p.Monoids[qi] != nil && p.Monoids[qi].Placeholder {
+			n = 0
+		}
+		p.Stats.AppAggregates += n + len(q.MonoidAggs)
 	}
 	p.Stats.RawViews = rawCount
 	p.Stats.Groups = len(groups)

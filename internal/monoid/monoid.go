@@ -1,0 +1,363 @@
+// Package monoid defines the pluggable aggregate algebra the engine's
+// generalized (non-semiring) aggregates are evaluated over, together with
+// the concrete instances the query language exposes.
+//
+// A Monoid is an associative combine with an identity over opaque per-group
+// states. Aggregates that fit the sum-product semiring (SUM, COUNT) are
+// additionally Invertible — deletes apply as negative inserts, which is the
+// engine's fast path. The instances that motivate this package (MIN, MAX,
+// COUNT DISTINCT, top-k) are NOT invertible: a delete can only be handled by
+// re-folding the affected group from its surviving support. The engine
+// therefore evaluates every non-invertible aggregate over a maintained
+// support view — the per-(group, value) tuple counts — and re-folds exactly
+// the groups whose support changed (see internal/core's monoid support
+// synthesis and internal/moo's assembly).
+//
+// All shipped instances fold values lifted from int64 (discrete attribute
+// dictionary codes), and every non-invertible instance is idempotent
+// (Combine(Lift(x), Lift(x)) == Lift(x)), so folding once per distinct
+// support value equals folding once per joining tuple. Finalized outputs
+// avoid NaN and ±Inf — padding and empty-fold sentinels use ±math.MaxFloat64
+// — so results stay JSON-encodable and bit-exact comparable.
+package monoid
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a monoid's per-group accumulator. States are opaque to the
+// engine: only the owning Monoid inspects them. Implementations may treat
+// states as immutable or mutate the left operand of Combine; callers must
+// not retain a State passed to Combine.
+type State interface{}
+
+// Monoid is one aggregate algebra: an identity element, a lift from raw
+// int64 values into states, an associative combine, and a finalizer
+// projecting a state onto Width() float64 output columns.
+type Monoid interface {
+	// Name is the instance's stable identifier (used in plans and tests).
+	Name() string
+	// Identity returns the neutral element: Combine(Identity(), s) == s.
+	Identity() State
+	// Lift injects one raw value into a single-element state.
+	Lift(x int64) State
+	// Combine folds two states associatively. The result may alias a; b is
+	// never retained.
+	Combine(a, b State) State
+	// Width is the number of finalized output columns per group.
+	Width() int
+	// Finalize projects a state onto dst, which has exactly Width()
+	// elements. Finalized values are always finite (no NaN, no ±Inf).
+	Finalize(s State, dst []float64)
+	// Commutative reports whether Combine(a, b) == Combine(b, a). Every
+	// shipped instance is commutative; the flag exists so the law fuzzer
+	// checks exactly what an instance claims.
+	Commutative() bool
+	// Idempotent reports whether Combine(s, s) == s for lifted states. The
+	// engine requires idempotence of every non-invertible instance (support
+	// views carry distinct values, not multiplicities).
+	Idempotent() bool
+	// Eq reports state equality, used by the law fuzzer.
+	Eq(a, b State) bool
+}
+
+// Invertible marks monoids that are groups: every state has an inverse, so
+// a delete folds in as Combine(s, Invert(Lift(x))). SUM and COUNT are
+// invertible — this is precisely the sum-product semiring path the engine's
+// delta maintenance has always used (delete-as-negative-insert with hidden
+// tuple counts). Non-invertible instances instead go through support-view
+// re-folds.
+type Invertible interface {
+	Monoid
+	// Invert returns s's inverse: Combine(s, Invert(s)) == Identity().
+	Invert(s State) State
+}
+
+// Empty is the finite sentinel finalized for an empty fold by MIN (as
+// +Empty) and MAX (as -Empty), and the padding value of top-k buffers with
+// fewer than k distinct values. It cannot collide with any lifted value
+// (lifts come from int64, |x| <= 2^63) and, unlike ±Inf or NaN, survives
+// JSON encoding and exact float comparison.
+const Empty = math.MaxFloat64
+
+// ---------------------------------------------------------------------------
+// SUM — invertible; documents the engine's existing semiring fast path.
+
+// SumMonoid is integer summation: the canonical invertible instance.
+type SumMonoid struct{}
+
+// Name implements Monoid.
+func (SumMonoid) Name() string { return "sum" }
+
+// Identity implements Monoid.
+func (SumMonoid) Identity() State { return int64(0) }
+
+// Lift implements Monoid.
+func (SumMonoid) Lift(x int64) State { return x }
+
+// Combine implements Monoid.
+func (SumMonoid) Combine(a, b State) State { return a.(int64) + b.(int64) }
+
+// Width implements Monoid.
+func (SumMonoid) Width() int { return 1 }
+
+// Finalize implements Monoid.
+func (SumMonoid) Finalize(s State, dst []float64) { dst[0] = float64(s.(int64)) }
+
+// Commutative implements Monoid.
+func (SumMonoid) Commutative() bool { return true }
+
+// Idempotent implements Monoid.
+func (SumMonoid) Idempotent() bool { return false }
+
+// Eq implements Monoid.
+func (SumMonoid) Eq(a, b State) bool { return a.(int64) == b.(int64) }
+
+// Invert implements Invertible.
+func (SumMonoid) Invert(s State) State { return -s.(int64) }
+
+// ---------------------------------------------------------------------------
+// COUNT — invertible.
+
+// CountMonoid counts lifted values; like SumMonoid it is invertible and
+// exists to document (and law-check) the semiring path.
+type CountMonoid struct{}
+
+// Name implements Monoid.
+func (CountMonoid) Name() string { return "count" }
+
+// Identity implements Monoid.
+func (CountMonoid) Identity() State { return int64(0) }
+
+// Lift implements Monoid.
+func (CountMonoid) Lift(x int64) State { return int64(1) }
+
+// Combine implements Monoid.
+func (CountMonoid) Combine(a, b State) State { return a.(int64) + b.(int64) }
+
+// Width implements Monoid.
+func (CountMonoid) Width() int { return 1 }
+
+// Finalize implements Monoid.
+func (CountMonoid) Finalize(s State, dst []float64) { dst[0] = float64(s.(int64)) }
+
+// Commutative implements Monoid.
+func (CountMonoid) Commutative() bool { return true }
+
+// Idempotent implements Monoid.
+func (CountMonoid) Idempotent() bool { return false }
+
+// Eq implements Monoid.
+func (CountMonoid) Eq(a, b State) bool { return a.(int64) == b.(int64) }
+
+// Invert implements Invertible.
+func (CountMonoid) Invert(s State) State { return -s.(int64) }
+
+// ---------------------------------------------------------------------------
+// MIN / MAX — idempotent, not invertible.
+
+// MinMonoid keeps the smallest lifted value; the empty fold finalizes to
+// +Empty.
+type MinMonoid struct{}
+
+// Name implements Monoid.
+func (MinMonoid) Name() string { return "min" }
+
+// Identity implements Monoid.
+func (MinMonoid) Identity() State { return float64(Empty) }
+
+// Lift implements Monoid.
+func (MinMonoid) Lift(x int64) State { return float64(x) }
+
+// Combine implements Monoid.
+func (MinMonoid) Combine(a, b State) State { return math.Min(a.(float64), b.(float64)) }
+
+// Width implements Monoid.
+func (MinMonoid) Width() int { return 1 }
+
+// Finalize implements Monoid.
+func (MinMonoid) Finalize(s State, dst []float64) { dst[0] = s.(float64) }
+
+// Commutative implements Monoid.
+func (MinMonoid) Commutative() bool { return true }
+
+// Idempotent implements Monoid.
+func (MinMonoid) Idempotent() bool { return true }
+
+// Eq implements Monoid.
+func (MinMonoid) Eq(a, b State) bool { return a.(float64) == b.(float64) }
+
+// MaxMonoid keeps the largest lifted value; the empty fold finalizes to
+// -Empty.
+type MaxMonoid struct{}
+
+// Name implements Monoid.
+func (MaxMonoid) Name() string { return "max" }
+
+// Identity implements Monoid.
+func (MaxMonoid) Identity() State { return float64(-Empty) }
+
+// Lift implements Monoid.
+func (MaxMonoid) Lift(x int64) State { return float64(x) }
+
+// Combine implements Monoid.
+func (MaxMonoid) Combine(a, b State) State { return math.Max(a.(float64), b.(float64)) }
+
+// Width implements Monoid.
+func (MaxMonoid) Width() int { return 1 }
+
+// Finalize implements Monoid.
+func (MaxMonoid) Finalize(s State, dst []float64) { dst[0] = s.(float64) }
+
+// Commutative implements Monoid.
+func (MaxMonoid) Commutative() bool { return true }
+
+// Idempotent implements Monoid.
+func (MaxMonoid) Idempotent() bool { return true }
+
+// Eq implements Monoid.
+func (MaxMonoid) Eq(a, b State) bool { return a.(float64) == b.(float64) }
+
+// ---------------------------------------------------------------------------
+// COUNT DISTINCT — hidden per-group set; idempotent, not invertible.
+
+// DistinctMonoid accumulates the set of distinct lifted values (a sorted
+// slice — domains are small dictionary codes) and finalizes to its
+// cardinality. This is the "hidden per-group set" of the generalized
+// aggregate design: the set lives behind the engine's support views, never
+// in an output column.
+type DistinctMonoid struct{}
+
+// Name implements Monoid.
+func (DistinctMonoid) Name() string { return "distinct" }
+
+// Identity implements Monoid.
+func (DistinctMonoid) Identity() State { return []int64(nil) }
+
+// Lift implements Monoid.
+func (DistinctMonoid) Lift(x int64) State { return []int64{x} }
+
+// Combine implements Monoid (sorted-set union; the result never aliases b).
+func (DistinctMonoid) Combine(a, b State) State {
+	return unionSorted(a.([]int64), b.([]int64))
+}
+
+// Width implements Monoid.
+func (DistinctMonoid) Width() int { return 1 }
+
+// Finalize implements Monoid.
+func (DistinctMonoid) Finalize(s State, dst []float64) { dst[0] = float64(len(s.([]int64))) }
+
+// Commutative implements Monoid.
+func (DistinctMonoid) Commutative() bool { return true }
+
+// Idempotent implements Monoid.
+func (DistinctMonoid) Idempotent() bool { return true }
+
+// Eq implements Monoid.
+func (DistinctMonoid) Eq(a, b State) bool { return equalInt64s(a.([]int64), b.([]int64)) }
+
+// ---------------------------------------------------------------------------
+// TOP-K — bounded ordered buffer; idempotent, not invertible.
+
+// TopKMonoid keeps the K largest distinct lifted values in descending
+// order (a bounded ordered buffer) and finalizes them to K columns, padded
+// with -Empty when a group has fewer than K distinct values.
+type TopKMonoid struct {
+	// K is the buffer bound; must be >= 1.
+	K int
+}
+
+// Name implements Monoid.
+func (m TopKMonoid) Name() string { return fmt.Sprintf("top%d", m.K) }
+
+// Identity implements Monoid.
+func (m TopKMonoid) Identity() State { return []int64(nil) }
+
+// Lift implements Monoid.
+func (m TopKMonoid) Lift(x int64) State { return []int64{x} }
+
+// Combine implements Monoid: descending distinct merge truncated to K. The
+// result never aliases b.
+func (m TopKMonoid) Combine(a, b State) State {
+	merged := unionSorted(a.([]int64), b.([]int64))
+	if len(merged) > m.K {
+		merged = merged[len(merged)-m.K:]
+	}
+	return merged
+}
+
+// Width implements Monoid.
+func (m TopKMonoid) Width() int { return m.K }
+
+// Finalize implements Monoid: columns hold the K largest values in
+// descending order, -Empty beyond the buffer's fill.
+func (m TopKMonoid) Finalize(s State, dst []float64) {
+	vals := s.([]int64)
+	for i := 0; i < m.K; i++ {
+		if i < len(vals) {
+			dst[i] = float64(vals[len(vals)-1-i])
+		} else {
+			dst[i] = -Empty
+		}
+	}
+}
+
+// Commutative implements Monoid.
+func (m TopKMonoid) Commutative() bool { return true }
+
+// Idempotent implements Monoid.
+func (m TopKMonoid) Idempotent() bool { return true }
+
+// Eq implements Monoid.
+func (m TopKMonoid) Eq(a, b State) bool { return equalInt64s(a.([]int64), b.([]int64)) }
+
+// unionSorted merges two ascending distinct slices into a fresh ascending
+// distinct slice (inputs are never mutated or aliased by the result).
+func unionSorted(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Instances returns every registered monoid, one value per shipped
+// instance (top-k appears at two bounds). The law fuzzer iterates this
+// registry, so a new instance is law-checked by construction.
+func Instances() []Monoid {
+	return []Monoid{
+		SumMonoid{},
+		CountMonoid{},
+		MinMonoid{},
+		MaxMonoid{},
+		DistinctMonoid{},
+		TopKMonoid{K: 1},
+		TopKMonoid{K: 3},
+	}
+}

@@ -1,0 +1,152 @@
+package monoid
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fold lifts and combines xs left to right, starting from the identity.
+func fold(m Monoid, xs []int64) State {
+	s := m.Identity()
+	for _, x := range xs {
+		s = m.Combine(s, m.Lift(x))
+	}
+	return s
+}
+
+func finalized(m Monoid, s State) []float64 {
+	dst := make([]float64, m.Width())
+	m.Finalize(s, dst)
+	return dst
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMonoid{}, MaxMonoid{}
+	xs := []int64{3, -7, 12, 3, 0}
+	if got := finalized(min, fold(min, xs))[0]; got != -7 {
+		t.Fatalf("min = %v, want -7", got)
+	}
+	if got := finalized(max, fold(max, xs))[0]; got != 12 {
+		t.Fatalf("max = %v, want 12", got)
+	}
+	if got := finalized(min, min.Identity())[0]; got != Empty {
+		t.Fatalf("empty min = %v, want +Empty", got)
+	}
+	if got := finalized(max, max.Identity())[0]; got != -Empty {
+		t.Fatalf("empty max = %v, want -Empty", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	m := DistinctMonoid{}
+	if got := finalized(m, fold(m, []int64{5, 1, 5, 2, 1, 5}))[0]; got != 3 {
+		t.Fatalf("distinct = %v, want 3", got)
+	}
+	if got := finalized(m, m.Identity())[0]; got != 0 {
+		t.Fatalf("empty distinct = %v, want 0", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	m := TopKMonoid{K: 3}
+	got := finalized(m, fold(m, []int64{4, 9, 1, 9, 7, 2}))
+	want := []float64{9, 7, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("top3 = %v, want %v", got, want)
+		}
+	}
+	short := finalized(m, fold(m, []int64{6}))
+	if short[0] != 6 || short[1] != -Empty || short[2] != -Empty {
+		t.Fatalf("top3 of one value = %v, want [6 -Empty -Empty]", short)
+	}
+}
+
+func TestInvertible(t *testing.T) {
+	for _, m := range Instances() {
+		inv, ok := m.(Invertible)
+		if !ok {
+			continue
+		}
+		s := fold(m, []int64{2, 5, -3})
+		if got := m.Combine(s, inv.Invert(s)); !m.Eq(got, m.Identity()) {
+			t.Fatalf("%s: s + invert(s) != identity (got %v)", m.Name(), got)
+		}
+	}
+}
+
+func TestFinalizedValuesAreFinite(t *testing.T) {
+	for _, m := range Instances() {
+		for _, s := range []State{m.Identity(), fold(m, []int64{math.MaxInt64, math.MinInt64, 0})} {
+			for _, v := range finalized(m, s) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s finalized a non-finite value %v", m.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+// FuzzMonoidLaws checks, for every registered instance, the algebraic laws
+// the engine's evaluation and merging rely on: identity, associativity,
+// commutativity and idempotence where claimed, inverse where claimed, and
+// finite finalization. States are built by folding fuzz-derived value
+// slices, so the laws are exercised over the reachable state space.
+func FuzzMonoidLaws(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 255, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 9, 9})
+	f.Add([]byte{7, 1, 7, 1, 7, 1, 200, 100, 50, 25, 12, 6})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		xs := decodeValues(raw)
+		a, b, c := xs[0:len(xs)/3], xs[len(xs)/3:2*len(xs)/3], xs[2*len(xs)/3:]
+		for _, m := range Instances() {
+			sa, sb, sc := fold(m, a), fold(m, b), fold(m, c)
+			if !m.Eq(m.Combine(m.Identity(), sa), sa) || !m.Eq(m.Combine(sa, m.Identity()), sa) {
+				t.Fatalf("%s: identity law failed for %v", m.Name(), a)
+			}
+			left := m.Combine(m.Combine(fold(m, a), fold(m, b)), fold(m, c))
+			right := m.Combine(fold(m, a), m.Combine(fold(m, b), fold(m, c)))
+			if !m.Eq(left, right) {
+				t.Fatalf("%s: associativity failed for %v %v %v", m.Name(), a, b, c)
+			}
+			if m.Commutative() {
+				if !m.Eq(m.Combine(fold(m, a), fold(m, b)), m.Combine(fold(m, b), fold(m, a))) {
+					t.Fatalf("%s: claimed commutativity failed for %v %v", m.Name(), a, b)
+				}
+			}
+			if m.Idempotent() {
+				if !m.Eq(m.Combine(fold(m, a), fold(m, a)), fold(m, a)) {
+					t.Fatalf("%s: claimed idempotence failed for %v", m.Name(), a)
+				}
+			}
+			if inv, ok := m.(Invertible); ok {
+				if !m.Eq(m.Combine(sa, inv.Invert(fold(m, a))), m.Identity()) {
+					t.Fatalf("%s: inverse law failed for %v", m.Name(), a)
+				}
+			}
+			for _, s := range []State{sa, sb, sc} {
+				for _, v := range finalized(m, s) {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s: non-finite finalized value %v", m.Name(), v)
+					}
+				}
+			}
+		}
+	})
+}
+
+// decodeValues derives a non-empty int64 slice from fuzz bytes: 8-byte
+// little-endian chunks, with a short tail folded into one last value.
+func decodeValues(raw []byte) []int64 {
+	var xs []int64
+	for len(raw) >= 8 {
+		xs = append(xs, int64(binary.LittleEndian.Uint64(raw[:8])))
+		raw = raw[8:]
+	}
+	var tail int64
+	for _, b := range raw {
+		tail = tail<<8 | int64(b)
+	}
+	return append(xs, tail)
+}

@@ -250,13 +250,11 @@ func (e *Engine) Apply(prev *BatchResult, d data.Delta) (*BatchResult, *ApplySta
 	stats.MergeElapsed = time.Since(mergeStart)
 	res := &BatchResult{
 		Plan:         plan,
-		Results:      make([]*ViewData, len(plan.Queries)),
 		Materialized: mat,
 		Versions:     sched.Commits,
 	}
-	for qi, vid := range plan.OutputView {
-		res.Results[qi] = mat[vid]
-		res.OutputBytes += mat[vid].SizeBytes()
+	if err := fillResults(plan, mat, res, prev.Results, deltas); err != nil {
+		return nil, nil, err
 	}
 	for _, v := range plan.Views {
 		if !v.IsOutput() && mat[v.ID] != nil {

@@ -155,7 +155,11 @@ func (e *Engine) Options() Options { return e.opts }
 // BatchResult carries the outputs of a batch run plus planning statistics.
 type BatchResult struct {
 	Plan *core.Plan
-	// Results holds one materialized output per query, batch order.
+	// Results holds one user-visible output per USER query, batch order
+	// (len == Plan.UserQueries). For queries with monoid aggregates this is
+	// the assembled view — sum columns, finalized monoid columns, hidden
+	// count — not the raw output view; the plan's internal support queries
+	// never surface here (their views live in Materialized).
 	Results []*ViewData
 	// OutputBytes is the total size of the application outputs (paper
 	// Table 2's "Size" column).
@@ -215,14 +219,12 @@ func (e *Engine) RunPlan(plan *core.Plan) (*BatchResult, error) {
 	}
 	res := &BatchResult{
 		Plan:         plan,
-		Results:      make([]*ViewData, len(plan.Queries)),
 		Elapsed:      time.Since(start),
 		Materialized: produced,
 		Versions:     versions,
 	}
-	for qi, vid := range plan.OutputView {
-		res.Results[qi] = produced[vid]
-		res.OutputBytes += produced[vid].SizeBytes()
+	if err := fillResults(plan, produced, res, nil, nil); err != nil {
+		return nil, err
 	}
 	for _, v := range plan.Views {
 		if !v.IsOutput() && produced[v.ID] != nil {

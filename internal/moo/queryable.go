@@ -68,8 +68,8 @@ func GatherResults(q Queryable, batch []*query.Query) ([]*ViewData, error) {
 		if !sameAttrSet(vd.GroupBy, bq.GroupBy) {
 			return nil, fmt.Errorf("moo: query %d (%s): queryable groups by %v, the application batch wants %v", i, bq.Name, vd.GroupBy, bq.GroupBy)
 		}
-		if vd.Stride < len(bq.Aggs) {
-			return nil, fmt.Errorf("moo: query %d (%s): queryable carries %d aggregate columns, the application batch wants %d", i, bq.Name, vd.Stride, len(bq.Aggs))
+		if vd.Stride < bq.NumCols() {
+			return nil, fmt.Errorf("moo: query %d (%s): queryable carries %d aggregate columns, the application batch wants %d", i, bq.Name, vd.Stride, bq.NumCols())
 		}
 		out[i] = vd
 	}

@@ -79,7 +79,7 @@ func captureSnapshot(t *testing.T, sn *lmfao.Snapshot, queries []*query.Query) *
 	obs := &observation{epoch: sn.Epoch(), vv: sn.VersionVector(), rows: make([]map[string][]float64, len(queries))}
 	for qi, q := range queries {
 		v := sn.Result(qi)
-		obs.rows[qi] = viewRows(v, len(q.Aggs))
+		obs.rows[qi] = viewRows(v, q.NumCols())
 		if v.NumRows() == 0 {
 			continue
 		}

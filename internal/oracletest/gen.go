@@ -216,7 +216,10 @@ func genChain(rng *rand.Rand) (*Schema, error) {
 
 // GenQueries builds a random batch of 2–5 queries over the schema: scalar
 // and grouped, counts, sums, sums of products, powers, indicator and
-// set-membership factors — all with exactly representable arithmetic.
+// set-membership factors — all with exactly representable arithmetic —
+// plus randomly mixed-in monoid aggregates (MIN/MAX, COUNT DISTINCT, top-k
+// per group), occasionally as a pure-monoid query with no sum aggregates
+// (the planner's hidden placeholder-count path).
 func GenQueries(rng *rand.Rand, s *Schema) []*query.Query {
 	n := 2 + rng.Intn(4)
 	out := make([]*query.Query, n)
@@ -227,12 +230,38 @@ func GenQueries(rng *rand.Rand, s *Schema) []*query.Query {
 				groupBy = append(groupBy, a)
 			}
 		}
+		mons := genMonoidAggs(rng, s)
 		na := 1 + rng.Intn(3)
+		if len(mons) > 0 && rng.Intn(4) == 0 {
+			na = 0
+		}
 		aggs := make([]query.Aggregate, na)
 		for ai := range aggs {
 			aggs[ai] = genAggregate(rng, s, fmt.Sprintf("a%d", ai))
 		}
-		out[qi] = query.NewQuery(fmt.Sprintf("q%d", qi), groupBy, aggs...)
+		q := query.NewQuery(fmt.Sprintf("q%d", qi), groupBy, aggs...)
+		q.MonoidAggs = mons
+		out[qi] = q
+	}
+	return out
+}
+
+// genMonoidAggs draws 0–2 monoid aggregates over discrete attributes.
+func genMonoidAggs(rng *rand.Rand, s *Schema) []query.MonoidAgg {
+	n := rng.Intn(3)
+	out := make([]query.MonoidAgg, 0, n)
+	for i := 0; i < n; i++ {
+		a := s.Discrete[rng.Intn(len(s.Discrete))]
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, query.MinOf(a))
+		case 1:
+			out = append(out, query.MaxOf(a))
+		case 2:
+			out = append(out, query.DistinctOf(a))
+		default:
+			out = append(out, query.TopKOf(a, 1+rng.Intn(3)))
+		}
 	}
 	return out
 }

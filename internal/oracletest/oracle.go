@@ -119,7 +119,7 @@ func CheckBatch(db *data.Database, queries []*query.Query, tol Tolerance) error 
 
 func compareToBaseline(name string, res *moo.BatchResult, queries []*query.Query, want []*baseline.Result, tol Tolerance) error {
 	for qi, q := range queries {
-		got := viewRows(res.Results[qi], len(q.Aggs))
+		got := viewRows(res.Results[qi], q.NumCols())
 		if err := diffRows(fmt.Sprintf("%s/%s", name, q.Name), got, want[qi].Rows, tol); err != nil {
 			return err
 		}

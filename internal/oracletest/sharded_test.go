@@ -132,7 +132,7 @@ func TestShardedSessionOracle(t *testing.T) {
 						if err != nil {
 							t.Fatal(err)
 						}
-						got := viewRows(merged, len(q.Aggs))
+						got := viewRows(merged, q.NumCols())
 						if err := diffRows(fmt.Sprintf("round %d baseline/query %s", r, q.Name), got, want[qi].Rows, Exact); err != nil {
 							t.Fatal(err)
 						}

@@ -128,11 +128,18 @@ func (a Aggregate) Dynamic() bool {
 }
 
 // Query is one group-by aggregate batch member:
-// Q(GroupBy; Aggs) += natural join of the database.
+// Q(GroupBy; Aggs, MonoidAggs) += natural join of the database.
+//
+// Aggs are sum-product semiring aggregates (the invertible path);
+// MonoidAggs are generalized aggregates (MIN/MAX/DISTINCT/top-k) evaluated
+// over pluggable monoids. A query may carry either kind alone or both; the
+// visible output columns are the Aggs columns followed by each MonoidAgg's
+// Width() columns, in declaration order.
 type Query struct {
-	Name    string
-	GroupBy []data.AttrID
-	Aggs    []Aggregate
+	Name       string
+	GroupBy    []data.AttrID
+	Aggs       []Aggregate
+	MonoidAggs []MonoidAgg
 }
 
 // NewQuery builds a query. Group-by attributes are deduplicated and sorted
@@ -142,13 +149,26 @@ func NewQuery(name string, groupBy []data.AttrID, aggs ...Aggregate) *Query {
 }
 
 // Attrs returns all attributes referenced by the query (group-by plus
-// aggregate inputs), sorted and deduplicated.
+// aggregate inputs, monoid folds included), sorted and deduplicated.
 func (q *Query) Attrs() []data.AttrID {
 	dst := append([]data.AttrID(nil), q.GroupBy...)
 	for _, a := range q.Aggs {
 		dst = append(dst, a.Attrs()...)
 	}
+	for _, m := range q.MonoidAggs {
+		dst = append(dst, m.Attr)
+	}
 	return dedupAttrs(dst)
+}
+
+// NumCols is the number of visible output columns: one per sum aggregate
+// plus each monoid aggregate's width.
+func (q *Query) NumCols() int {
+	n := len(q.Aggs)
+	for _, m := range q.MonoidAggs {
+		n += m.Width()
+	}
+	return n
 }
 
 // Validate checks the query against the database schema: every referenced
@@ -184,6 +204,14 @@ func (q *Query) Validate(db *data.Database) error {
 		if len(agg.Terms) == 0 {
 			return fmt.Errorf("query %q: aggregate %q has no terms", q.Name, agg.Name)
 		}
+	}
+	for _, m := range q.MonoidAggs {
+		if err := q.validateMonoid(db, m); err != nil {
+			return err
+		}
+	}
+	if len(q.Aggs) == 0 && len(q.MonoidAggs) == 0 {
+		return fmt.Errorf("query %q: no aggregates", q.Name)
 	}
 	return nil
 }

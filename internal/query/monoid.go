@@ -1,0 +1,122 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/monoid"
+)
+
+// MonoidOp identifies one of the generalized (non-semiring) aggregate
+// operators a query can request. Each op resolves to a registered
+// internal/monoid instance via MonoidAgg.Instance; all of them are
+// idempotent and non-invertible, so the engine maintains them through
+// support views and per-group re-folds instead of delete-as-negative-insert
+// (see internal/core and internal/moo).
+type MonoidOp int
+
+// The supported generalized aggregate operators.
+const (
+	// OpMin is MIN(attr): the smallest value of the attribute per group.
+	OpMin MonoidOp = iota
+	// OpMax is MAX(attr).
+	OpMax
+	// OpDistinct is COUNT(DISTINCT attr): the number of distinct values of
+	// the attribute per group.
+	OpDistinct
+	// OpTopK is TOP<k>(attr): the k largest distinct values per group,
+	// descending, padded with -monoid.Empty.
+	OpTopK
+)
+
+func (op MonoidOp) String() string {
+	switch op {
+	case OpMin:
+		return "MIN"
+	case OpMax:
+		return "MAX"
+	case OpDistinct:
+		return "DISTINCT"
+	case OpTopK:
+		return "TOP"
+	}
+	return "?"
+}
+
+// MonoidAgg is one generalized aggregate column group of a query: operator
+// Op folded over attribute Attr within each group. Attr must be a discrete
+// attribute (the fold is over dictionary codes, like group-by keys). K is
+// the buffer bound for OpTopK and ignored otherwise.
+type MonoidAgg struct {
+	Name string
+	Op   MonoidOp
+	Attr data.AttrID
+	K    int
+}
+
+// MinOf builds MIN(attr).
+func MinOf(attr data.AttrID) MonoidAgg {
+	return MonoidAgg{Name: fmt.Sprintf("min(x%d)", attr), Op: OpMin, Attr: attr}
+}
+
+// MaxOf builds MAX(attr).
+func MaxOf(attr data.AttrID) MonoidAgg {
+	return MonoidAgg{Name: fmt.Sprintf("max(x%d)", attr), Op: OpMax, Attr: attr}
+}
+
+// DistinctOf builds COUNT(DISTINCT attr).
+func DistinctOf(attr data.AttrID) MonoidAgg {
+	return MonoidAgg{Name: fmt.Sprintf("distinct(x%d)", attr), Op: OpDistinct, Attr: attr}
+}
+
+// TopKOf builds TOP<k>(attr).
+func TopKOf(attr data.AttrID, k int) MonoidAgg {
+	return MonoidAgg{Name: fmt.Sprintf("top%d(x%d)", k, attr), Op: OpTopK, Attr: attr, K: k}
+}
+
+// Width is the number of output columns the aggregate finalizes to: K for
+// top-k, 1 otherwise.
+func (m MonoidAgg) Width() int {
+	if m.Op == OpTopK {
+		if m.K < 1 {
+			return 1
+		}
+		return m.K
+	}
+	return 1
+}
+
+// Instance resolves the operator to its monoid algebra.
+func (m MonoidAgg) Instance() (monoid.Monoid, error) {
+	switch m.Op {
+	case OpMin:
+		return monoid.MinMonoid{}, nil
+	case OpMax:
+		return monoid.MaxMonoid{}, nil
+	case OpDistinct:
+		return monoid.DistinctMonoid{}, nil
+	case OpTopK:
+		if m.K < 1 {
+			return nil, fmt.Errorf("query: aggregate %q: top-k bound must be >= 1, got %d", m.Name, m.K)
+		}
+		return monoid.TopKMonoid{K: m.K}, nil
+	}
+	return nil, fmt.Errorf("query: aggregate %q: unknown monoid op %d", m.Name, int(m.Op))
+}
+
+// validateMonoid checks one monoid aggregate against the schema: the
+// operator must resolve, and the folded attribute must exist and be
+// discrete.
+func (q *Query) validateMonoid(db *data.Database, m MonoidAgg) error {
+	if _, err := m.Instance(); err != nil {
+		return fmt.Errorf("query %q: %w", q.Name, err)
+	}
+	if int(m.Attr) >= db.NumAttrs() || m.Attr < 0 {
+		return fmt.Errorf("query %q: aggregate %q: unknown attribute %d", q.Name, m.Name, m.Attr)
+	}
+	if !db.Attribute(m.Attr).Kind.Discrete() {
+		return fmt.Errorf("query %q: aggregate %q: attribute %q is numeric; %s folds over discrete attributes",
+			q.Name, m.Name, db.Attribute(m.Attr).Name, m.Op)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 //
 //	name(attr1, attr2; SUM term + term, SUM term)
 //	name(SUM term, ...)                                (no group-by)
+//	name(attr1; SUM term, MIN attr, TOP3 attr)        (monoid aggregates)
 //
 // with terms being ·-joined factors with an optional numeric coefficient:
 // attribute names, pow (attr^2), indicators (1[attr <= 3]), set membership
@@ -20,10 +21,15 @@ import (
 // resolve against db (or the positional x<id> form when db is nil). Custom
 // UDFs cannot be parsed — they are closures with no textual form.
 //
+// Beyond SUM, aggregate items may be generalized (monoid) aggregates over a
+// single discrete attribute: MIN attr, MAX attr, DISTINCT attr (count of
+// distinct values) and TOP<k> attr (the k largest distinct values). A query
+// needs at least one aggregate item of either kind.
+//
 // Aggregate names are not part of the syntax; parsed aggregates are named
-// a0, a1, ... . Parse is the inverse of Format up to those names:
-// Parse(Format(q)) formats identically to q for any q without custom
-// factors.
+// a0, a1, ... (monoid aggregates keep their constructor names). Parse is
+// the inverse of Format up to those names: Parse(Format(q)) formats
+// identically to q for any q without custom factors.
 func Parse(db *data.Database, s string) (*Query, error) {
 	s = strings.TrimSpace(s)
 	open := strings.Index(s, "(")
@@ -45,18 +51,66 @@ func Parse(db *data.Database, s string) (*Query, error) {
 			groupBy = append(groupBy, id)
 		}
 	}
-	if !strings.HasPrefix(body, "SUM ") {
-		return nil, fmt.Errorf("query: parse: aggregate list must start with SUM, got %q", body)
-	}
+	// The aggregate list splits on ", ": no printable factor form contains
+	// that sequence (set literals are comma-packed, terms join with " + ").
 	var aggs []Aggregate
-	for ai, aggSrc := range strings.Split(body[len("SUM "):], ", SUM ") {
-		agg, err := parseAggregate(db, fmt.Sprintf("a%d", ai), aggSrc)
+	var monoids []MonoidAgg
+	for _, item := range strings.Split(body, ", ") {
+		if strings.HasPrefix(item, "SUM ") {
+			agg, err := parseAggregate(db, fmt.Sprintf("a%d", len(aggs)), item[len("SUM "):])
+			if err != nil {
+				return nil, err
+			}
+			aggs = append(aggs, agg)
+			continue
+		}
+		m, err := parseMonoidAgg(db, item)
 		if err != nil {
 			return nil, err
 		}
-		aggs = append(aggs, agg)
+		monoids = append(monoids, m)
 	}
-	return NewQuery(name, groupBy, aggs...), nil
+	if len(aggs) == 0 && len(monoids) == 0 {
+		return nil, fmt.Errorf("query: parse: no aggregates in %q", s)
+	}
+	q := NewQuery(name, groupBy, aggs...)
+	q.MonoidAggs = monoids
+	return q, nil
+}
+
+// parseMonoidAgg reads one generalized aggregate item: "MIN attr",
+// "MAX attr", "DISTINCT attr" or "TOP<k> attr".
+func parseMonoidAgg(db *data.Database, s string) (MonoidAgg, error) {
+	op, rest := strings.TrimSpace(s), ""
+	if i := strings.Index(op, " "); i >= 0 {
+		op, rest = op[:i], op[i+1:]
+	}
+	switch {
+	case op == "MIN" || op == "MAX" || op == "DISTINCT":
+		id, err := parseAttr(db, rest)
+		if err != nil {
+			return MonoidAgg{}, err
+		}
+		switch op {
+		case "MIN":
+			return MinOf(id), nil
+		case "MAX":
+			return MaxOf(id), nil
+		default:
+			return DistinctOf(id), nil
+		}
+	case strings.HasPrefix(op, "TOP"):
+		k, err := strconv.Atoi(op[len("TOP"):])
+		if err != nil || k < 1 {
+			return MonoidAgg{}, fmt.Errorf("query: parse: bad top-k bound in %q", s)
+		}
+		id, err := parseAttr(db, rest)
+		if err != nil {
+			return MonoidAgg{}, err
+		}
+		return TopKOf(id, k), nil
+	}
+	return MonoidAgg{}, fmt.Errorf("query: parse: aggregate item %q is neither SUM nor a monoid aggregate (MIN/MAX/DISTINCT/TOP<k>)", s)
 }
 
 func parseAggregate(db *data.Database, name, s string) (Aggregate, error) {

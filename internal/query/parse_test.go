@@ -116,3 +116,86 @@ func mustErr(t *testing.T, db *data.Database, s string) error {
 	}
 	return err
 }
+
+// TestParseMonoidRoundTrip checks Parse ∘ Format is the identity on queries
+// carrying generalized (monoid) aggregates, alone and mixed with SUMs, and
+// that the parsed structure (op, attribute, top-k bound) survives.
+func TestParseMonoidRoundTrip(t *testing.T) {
+	db := parseDB()
+	store, _ := db.AttrByName("store")
+	item, _ := db.AttrByName("item")
+	color, _ := db.AttrByName("color")
+	sales, _ := db.AttrByName("sales")
+
+	mixed := NewQuery("mixed", []data.AttrID{store}, SumAgg(sales), CountAgg())
+	mixed.MonoidAggs = []MonoidAgg{MinOf(item), MaxOf(item)}
+	pure := NewQuery("pure", []data.AttrID{color})
+	pure.MonoidAggs = []MonoidAgg{DistinctOf(store), TopKOf(item, 3)}
+	scalar := NewQuery("scalar", nil, CountAgg())
+	scalar.MonoidAggs = []MonoidAgg{TopKOf(color, 2)}
+
+	for _, q := range []*Query{mixed, pure, scalar} {
+		s1 := q.Format(db)
+		p, err := Parse(db, s1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s1, err)
+		}
+		if s2 := p.Format(db); s1 != s2 {
+			t.Fatalf("round trip changed %q to %q", s1, s2)
+		}
+		if len(p.MonoidAggs) != len(q.MonoidAggs) {
+			t.Fatalf("%q: parsed %d monoid aggregates, want %d", s1, len(p.MonoidAggs), len(q.MonoidAggs))
+		}
+		for i, m := range p.MonoidAggs {
+			want := q.MonoidAggs[i]
+			if m.Op != want.Op || m.Attr != want.Attr || m.K != want.K {
+				t.Fatalf("%q: aggregate %d parsed as %+v, want %+v", s1, i, m, want)
+			}
+		}
+		if p.NumCols() != q.NumCols() {
+			t.Fatalf("%q: parsed width %d, want %d", s1, p.NumCols(), q.NumCols())
+		}
+	}
+}
+
+// TestParseMonoidErrors covers the monoid-specific reject paths: malformed
+// top-k bounds, unknown operators and unknown attributes fail at Parse;
+// a numeric fold attribute parses but fails Validate (mirroring how
+// discrete attributes inside SUM terms are a validation concern).
+func TestParseMonoidErrors(t *testing.T) {
+	db := parseDB()
+	bad := []string{
+		"q(store; TOP0 item)",   // k < 1
+		"q(store; TOPx item)",   // non-numeric k
+		"q(store; MIN ghost)",   // unknown attribute
+		"q(store; MEDIAN item)", // unknown operator
+		"q(store; MIN)",         // missing attribute
+	}
+	for _, s := range bad {
+		if _, err := Parse(db, s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+	if !strings.Contains(mustErr(t, db, "q(store; TOP0 item)").Error(), "top-k") {
+		t.Error("bad top-k bound error not surfaced")
+	}
+
+	// A numeric fold attribute parses; Validate rejects it against a schema
+	// where the attributes are live.
+	vdb := data.NewDatabase()
+	store := vdb.Attr("store", data.Key)
+	sales := vdb.Attr("sales", data.Numeric)
+	if err := vdb.AddRelation(data.NewRelation("Sales",
+		[]data.AttrID{store, sales},
+		[]data.Column{data.NewIntColumn([]int64{0}), data.NewFloatColumn([]float64{1})})); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(vdb, "q(store; MIN sales)")
+	if err != nil {
+		t.Fatalf("numeric fold attribute should parse (validation is separate): %v", err)
+	}
+	verr := q.Validate(vdb)
+	if verr == nil || !strings.Contains(verr.Error(), "numeric") {
+		t.Fatalf("Validate over numeric fold attribute = %v, want a numeric-attribute error", verr)
+	}
+}

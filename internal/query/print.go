@@ -81,14 +81,30 @@ func (q *Query) Format(db *data.Database) string {
 			head = append(head, fmt.Sprintf("x%d", g))
 		}
 	}
-	aggs := make([]string, len(q.Aggs))
-	for i, a := range q.Aggs {
-		aggs[i] = FormatAggregate(db, a)
+	items := make([]string, 0, len(q.Aggs)+len(q.MonoidAggs))
+	for _, a := range q.Aggs {
+		items = append(items, "SUM "+FormatAggregate(db, a))
+	}
+	for _, m := range q.MonoidAggs {
+		items = append(items, FormatMonoidAgg(db, m))
 	}
 	sep := ""
 	if len(head) > 0 {
 		sep = "; "
 	}
-	return fmt.Sprintf("%s(%s%sSUM %s)", q.Name, strings.Join(head, ", "), sep,
-		strings.Join(aggs, ", SUM "))
+	return fmt.Sprintf("%s(%s%s%s)", q.Name, strings.Join(head, ", "), sep,
+		strings.Join(items, ", "))
+}
+
+// FormatMonoidAgg renders a generalized aggregate item ("MIN attr",
+// "TOP3 attr", ...).
+func FormatMonoidAgg(db *data.Database, m MonoidAgg) string {
+	name := fmt.Sprintf("x%d", m.Attr)
+	if db != nil && int(m.Attr) < db.NumAttrs() {
+		name = db.Attribute(m.Attr).Name
+	}
+	if m.Op == OpTopK {
+		return fmt.Sprintf("TOP%d %s", m.K, name)
+	}
+	return fmt.Sprintf("%s %s", m.Op, name)
 }

@@ -172,7 +172,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		resp.Queries = append(resp.Queries, queryMeta{
 			Index: i, Name: q.Name,
 			GroupBy: s.db.AttrNames(q.GroupBy),
-			Aggs:    len(q.Aggs),
+			Aggs:    q.NumCols(),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -230,7 +230,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, rest strin
 	var aggs int
 	if idx < len(s.queries) {
 		name = s.queries[idx].Name
-		aggs = len(s.queries[idx].Aggs)
+		aggs = s.queries[idx].NumCols()
 	}
 	fresh := r.URL.Query().Get("fresh") != ""
 	if fresh {
@@ -381,7 +381,7 @@ func (s *Server) handleRequery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := requeryResponse{Results: make([]resultResponse, len(res))}
 	for i, v := range res {
-		resp.Results[i] = viewToResponse(s.db, i, queries[i].Name, v, len(queries[i].Aggs), epochsOf(sn), true, s.maxRows)
+		resp.Results[i] = viewToResponse(s.db, i, queries[i].Name, v, queries[i].NumCols(), epochsOf(sn), true, s.maxRows)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -109,6 +109,10 @@ type (
 	Factor = query.Factor
 	// CmpOp is a comparison operator for Indicator factors.
 	CmpOp = query.CmpOp
+	// MonoidAgg is a generalized aggregate over a commutative monoid —
+	// MIN, MAX, COUNT DISTINCT, top-k per group — maintained under
+	// inserts AND deletes via internal support views (see Session).
+	MonoidAgg = query.MonoidAgg
 )
 
 // Comparison operators.
@@ -140,6 +144,20 @@ func SumPow(attr AttrID, exp int) Aggregate { return query.SumPowAgg(attr, exp) 
 
 // NewAggregate builds an aggregate from terms.
 func NewAggregate(name string, terms ...Term) Aggregate { return query.NewAggregate(name, terms...) }
+
+// MinOf is the MIN(attr) monoid aggregate. Append it to Query.MonoidAggs.
+func MinOf(attr AttrID) MonoidAgg { return query.MinOf(attr) }
+
+// MaxOf is the MAX(attr) monoid aggregate.
+func MaxOf(attr AttrID) MonoidAgg { return query.MaxOf(attr) }
+
+// DistinctOf is the COUNT(DISTINCT attr) monoid aggregate.
+func DistinctOf(attr AttrID) MonoidAgg { return query.DistinctOf(attr) }
+
+// TopKOf is the top-k-per-group monoid aggregate: the k largest distinct
+// values of attr in each group, emitted descending across k columns (absent
+// slots hold -monoid.Empty).
+func TopKOf(attr AttrID, k int) MonoidAgg { return query.TopKOf(attr, k) }
 
 // NewTerm builds a product term with coefficient 1.
 func NewTerm(factors ...Factor) Term { return query.NewTerm(factors...) }

@@ -6,7 +6,9 @@
 #      some non-test file with a comment block ending on the line directly
 #      above its `package` clause;
 #   2. every exported top-level symbol of the public lmfao package (the
-#      repository root) must carry a doc comment — a `//` block directly
+#      repository root) and of internal/monoid (the monoid interface is the
+#      contract new aggregate instances are written against, so its godoc
+#      must stay complete) must carry a doc comment — a `//` block directly
 #      above the declaration, or, for grouped type/const/var declarations,
 #      either a comment on the group or one on the member;
 #   3. every exported interface of the public package must embed its full
@@ -40,9 +42,10 @@ if [ "$missing" -ne 0 ]; then
 	echo "add a godoc package comment to each package listed above"
 fi
 
-# Phase 2: undocumented exported symbols in the public package.
+# Phase 2: undocumented exported symbols in the public package and in
+# internal/monoid (the pluggable-aggregate contract).
 undocumented=0
-for f in ./*.go; do
+for f in ./*.go ./internal/monoid/*.go; do
 	case "$f" in *_test.go) continue ;; esac
 	[ -f "$f" ] || continue
 	awk -v f="${f#./}" '

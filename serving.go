@@ -140,12 +140,8 @@ func RunQueryable(eng *Engine, queries []*Query) (*Snapshot, error) {
 		versions = ivm.CaptureVersions(eng.DB())
 	}
 	return &Snapshot{epoch: 1, res: res, versions: versions,
-		requery: func(qs []*query.Query) ([]*moo.ViewData, error) {
-			r, err := eng.Run(qs)
-			if err != nil {
-				return nil, err
-			}
-			return r.Results, nil
+		requery: func(qs []*query.Query) (*moo.BatchResult, error) {
+			return eng.Run(qs)
 		}}, nil
 }
 

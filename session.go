@@ -46,7 +46,9 @@ type Snapshot struct {
 	versions VersionVector
 	// requery evaluates a fresh ad-hoc batch behind this snapshot
 	// (Requerier); sessions install a hook that serializes with the writer.
-	requery func([]*query.Query) ([]*moo.ViewData, error)
+	// It returns the full batch result (not just the visible views) so the
+	// sharded merge path can reach the support views monoid queries need.
+	requery func([]*query.Query) (*moo.BatchResult, error)
 }
 
 // Epoch returns the snapshot's publication sequence number: 1 for the first
@@ -88,7 +90,7 @@ func (sn *Snapshot) Lookup(queryIdx int, key ...int64) ([]float64, bool) {
 	if i < 0 {
 		return nil, false
 	}
-	n := len(sn.res.Plan.Queries[queryIdx].Aggs)
+	n := sn.res.Plan.VisibleCols(queryIdx)
 	out := make([]float64, n)
 	for c := 0; c < n; c++ {
 		out[c] = v.Val(i, c)
@@ -107,7 +109,11 @@ func (sn *Snapshot) Requery(queries []*Query) ([]*Result, error) {
 	if sn.requery == nil {
 		return nil, fmt.Errorf("lmfao: snapshot has no requery hook")
 	}
-	return sn.requery(queries)
+	res, err := sn.requery(queries)
+	if err != nil {
+		return nil, err
+	}
+	return res.Results, nil
 }
 
 // ApplyResult delivers an ApplyAsync outcome: the per-update maintenance
@@ -153,9 +159,12 @@ type ApplyResult struct {
 // (readers keep serving the older, still-consistent version) and forces the
 // writer's next round to recompute from scratch.
 //
-// Limitations: aggregates must live in the sum-product semiring (every
-// Aggregate built from this package's constructors does; MIN/MAX-style
-// aggregates, which are not expressible here, would not survive deletes).
+// Aggregates outside the sum-product semiring — MIN, MAX, COUNT DISTINCT,
+// top-k (MonoidAgg) — survive deletes too: the planner compiles each one to
+// an internal count-valued support view that the delta machinery maintains
+// like any other view, and a delete that shrinks a group's support triggers
+// a re-fold of exactly that group's monoid columns (see internal/monoid and
+// the assembly layer in internal/moo).
 //
 // A session has exactly one logical writer; when maintenance throughput on
 // one writer becomes the bottleneck, ShardedSession partitions the fact
@@ -253,14 +262,10 @@ func (s *Session) publishLocked(res *moo.BatchResult, versions VersionVector) {
 // requeryLocked is the Requery hook installed on every published snapshot:
 // it runs an ad-hoc batch on the session's engine under the writer mutex,
 // so requeries serialize with maintenance and with each other.
-func (s *Session) requeryLocked(queries []*query.Query) ([]*moo.ViewData, error) {
+func (s *Session) requeryLocked(queries []*query.Query) (*moo.BatchResult, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
-	res, err := s.eng.Run(queries)
-	if err != nil {
-		return nil, err
-	}
-	return res.Results, nil
+	return s.eng.Run(queries)
 }
 
 // Run (re)computes the batch from scratch, caches the full view DAG and

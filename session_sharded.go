@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/ivm"
 	"repro/internal/moo"
@@ -670,7 +671,29 @@ func (sn *ShardedSnapshot) Versions() ShardVector {
 // every shard (always, for a snapshot with no shard components). Like
 // Snapshot.Lookup it is lock-free, probes pre-built indexes and returns
 // exactly the query's aggregate columns.
+//
+// Queries with monoid aggregates are the exception: their columns do not
+// add across shards (the shard-wise MIN of MINs is fine, but DISTINCT
+// counts and top-k buffers are not), so multi-shard lookups route through
+// the cached merged view — first access per query pays the merge and takes
+// the snapshot's merge lock.
 func (sn *ShardedSnapshot) Lookup(queryIdx int, key ...int64) ([]float64, bool) {
+	if len(sn.shards) > 1 && sn.shards[0].res.Plan.Monoids[queryIdx] != nil {
+		v, err := sn.MergedResult(queryIdx)
+		if err != nil {
+			return nil, false
+		}
+		i := v.Lookup(key...)
+		if i < 0 {
+			return nil, false
+		}
+		n := sn.shards[0].res.Plan.VisibleCols(queryIdx)
+		out := make([]float64, n)
+		for c := 0; c < n; c++ {
+			out[c] = v.Val(i, c)
+		}
+		return out, true
+	}
 	var out []float64
 	for _, sh := range sn.shards {
 		row, ok := sh.Lookup(queryIdx, key...)
@@ -722,16 +745,61 @@ func (sn *ShardedSnapshot) MergedResult(queryIdx int) (*Result, error) {
 	if v := sn.merged[queryIdx]; v != nil {
 		return v, nil
 	}
-	parts := make([]*moo.ViewData, len(sn.shards))
-	for i, sh := range sn.shards {
-		parts[i] = sh.Result(queryIdx)
+	var v *moo.ViewData
+	var err error
+	if plan := sn.shards[0].res.Plan; plan.Monoids[queryIdx] != nil {
+		// Monoid columns do not add across shards: merge the per-shard RAW
+		// output and support views (plain count/sum views) and re-fold.
+		v, err = mergeAssembled(plan, queryIdx, len(sn.shards), func(i, j int) *moo.ViewData {
+			res := sn.shards[i].res
+			return res.Materialized[res.Plan.OutputView[j]]
+		})
+	} else {
+		parts := make([]*moo.ViewData, len(sn.shards))
+		for i, sh := range sn.shards {
+			parts[i] = sh.Result(queryIdx)
+		}
+		v, err = moo.CombineViews(parts)
 	}
-	v, err := moo.CombineViews(parts)
 	if err != nil {
 		return nil, err
 	}
+	v.EnsureIndex()
 	sn.merged[queryIdx] = v
 	return v, nil
+}
+
+// mergeAssembled merges monoid user query qi across nshards shard states.
+// The assembled monoid columns themselves must never be summed, so the
+// merge combines the per-shard raw output and support views — all plain
+// count/sum views, which CombineViews handles exactly — and folds the
+// merged supports into the user-visible view. plan is the merging plan;
+// query indexes are identical across shards (plan expansion is
+// deterministic on the query list), but view IDs may differ per shard
+// (statistics-driven roots), which is why matView resolves plan-query j's
+// output view through shard i's own plan.
+func mergeAssembled(plan *core.Plan, qi, nshards int, matView func(i, j int) *moo.ViewData) (*moo.ViewData, error) {
+	idxs := []int{qi}
+	seen := make(map[int]bool)
+	for _, col := range plan.Monoids[qi].Cols {
+		if !seen[col.Support] {
+			seen[col.Support] = true
+			idxs = append(idxs, col.Support)
+		}
+	}
+	mat := make([]*moo.ViewData, len(plan.Views))
+	for _, j := range idxs {
+		parts := make([]*moo.ViewData, nshards)
+		for i := range parts {
+			parts[i] = matView(i, j)
+		}
+		v, err := moo.CombineViews(parts)
+		if err != nil {
+			return nil, err
+		}
+		mat[plan.OutputView[j]] = v
+	}
+	return moo.AssembleQuery(plan, qi, mat)
 }
 
 // Requery evaluates a fresh ad-hoc batch across every shard and merges the
@@ -744,14 +812,19 @@ func (sn *ShardedSnapshot) Requery(queries []*Query) ([]*Result, error) {
 	if len(sn.shards) == 0 {
 		return nil, fmt.Errorf("lmfao: sharded snapshot has no shard components")
 	}
-	parts := make([][]*Result, len(sn.shards))
+	for i, sh := range sn.shards {
+		if sh.requery == nil {
+			return nil, fmt.Errorf("lmfao: shard %d snapshot has no requery hook", i)
+		}
+	}
+	parts := make([]*moo.BatchResult, len(sn.shards))
 	errs := make([]error, len(sn.shards))
 	var wg sync.WaitGroup
 	for i, sh := range sn.shards {
 		wg.Add(1)
 		go func(i int, sh *Snapshot) {
 			defer wg.Done()
-			parts[i], errs[i] = sh.Requery(queries)
+			parts[i], errs[i] = sh.requery(queries)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -760,13 +833,22 @@ func (sn *ShardedSnapshot) Requery(queries []*Query) ([]*Result, error) {
 			return nil, fmt.Errorf("lmfao: shard %d: %w", i, err)
 		}
 	}
-	out := make([]*Result, len(queries))
-	for qi := range queries {
-		per := make([]*moo.ViewData, len(sn.shards))
-		for i := range sn.shards {
-			per[i] = parts[i][qi]
+	plan := parts[0].Plan
+	out := make([]*Result, plan.UserQueries)
+	for qi := 0; qi < plan.UserQueries; qi++ {
+		var v *moo.ViewData
+		var err error
+		if plan.Monoids[qi] != nil {
+			v, err = mergeAssembled(plan, qi, len(parts), func(i, j int) *moo.ViewData {
+				return parts[i].Materialized[parts[i].Plan.OutputView[j]]
+			})
+		} else {
+			per := make([]*moo.ViewData, len(sn.shards))
+			for i := range sn.shards {
+				per[i] = parts[i].Results[qi]
+			}
+			v, err = moo.CombineViews(per)
 		}
-		v, err := moo.CombineViews(per)
 		if err != nil {
 			return nil, err
 		}
