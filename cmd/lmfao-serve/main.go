@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -100,7 +101,7 @@ func run(addr, dataset string, scale float64, seed int64, threads, shards int, d
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving on http://%s", addr)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()

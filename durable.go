@@ -345,7 +345,10 @@ func (d *DurableSession) applyLogged(updates []Update) ([]*ApplyStats, error) {
 // DAG, writes the checkpoint file atomically, prunes old ones, and pins
 // each relation's delta log at the covered version so the in-memory
 // retention cap cannot evict entries a recovery from this checkpoint (or a
-// log-driven consumer resuming from it) still needs.
+// log-driven consumer resuming from it) still needs. The pins are released
+// implicitly when the next checkpoint re-pins at a higher version.
+//
+// lmfao:retains-pin
 func (d *DurableSession) checkpoint() error {
 	if d.wedged != nil {
 		return d.wedged
@@ -398,6 +401,8 @@ func (d *DurableSession) checkpoint() error {
 }
 
 // submit enqueues a job unless the session is closed.
+//
+// lmfao:acquires closeMu.R
 func (d *DurableSession) submit(j *durableJob) (<-chan ApplyResult, error) {
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
@@ -495,6 +500,10 @@ func (d *DurableSession) Close() { d.shutdown(false) }
 // Idempotent with Close.
 func (d *DurableSession) Kill() { d.shutdown(true) }
 
+// shutdown closes the accept gate, optionally writes a final checkpoint,
+// then drains and stops the worker.
+//
+// lmfao:acquires closeMu
 func (d *DurableSession) shutdown(kill bool) {
 	d.closeMu.Lock()
 	already := d.closed.Swap(true)

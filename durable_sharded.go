@@ -418,11 +418,34 @@ func writeManifest(dir string, m shardManifest) error {
 	if err != nil {
 		return err
 	}
+	// Write-tmp / fsync / rename: the rename publishes atomically, but only
+	// the Sync guarantees the bytes behind the new name survive a crash —
+	// os.WriteFile alone could publish an empty or torn manifest.
 	tmp := manifestPath(dir) + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, manifestPath(dir))
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func readManifest(dir string) (shardManifest, error) {

@@ -1,0 +1,121 @@
+// Package analyzertest runs one analyzer over a testdata package and
+// checks its diagnostics against expectations embedded in the source — the
+// analysistest pattern, self-hosted on the suite's own loader.
+//
+// Expectations are comments of the form
+//
+//	x := s.closed // want "plain access"
+//
+// where the quoted string is a regular expression that must match a
+// diagnostic reported on that line. Every expectation must be matched by
+// exactly one diagnostic and every diagnostic must match an expectation; a
+// clean package simply contains no want comments.
+//
+// Testdata layout follows analysistest: <analyzer>/testdata/src/<pkg>,
+// loaded by directory path so the packages stay invisible to ./...
+// patterns (go build, go vet and the docs gate never see them), while
+// still compiling against the real standard library via the toolchain's
+// export data.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted expectation from a "// want ..." comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+// expectation is one "// want" comment: a position and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir (a testdata source directory,
+// relative to the calling test's working directory) and reports every
+// mismatch between the analyzer's diagnostics and the package's want
+// comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadOptions{}, "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				w := parseWant(t, pkg.Fset, c)
+				if w != nil {
+					wants = append(wants, w)
+				}
+			}
+		}
+	}
+
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWant parses one comment into an expectation, or nil. Malformed
+// want comments (unparseable quote or regexp) fail the test loudly rather
+// than silently expecting nothing.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) *expectation {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, `"`) {
+			t.Fatalf("%s: malformed want comment: %s", fset.Position(c.Pos()), c.Text)
+		}
+		return nil
+	}
+	pattern, err := strconv.Unquote(m[1])
+	if err != nil {
+		t.Fatalf("%s: malformed want pattern %s: %v", fset.Position(c.Pos()), m[1], err)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pattern, err)
+	}
+	pos := fset.Position(c.Pos())
+	return &expectation{file: filepath.Base(pos.Filename), line: pos.Line, re: re}
+}
+
+// matchWant marks and reports the first unmatched expectation that covers
+// finding f.
+func matchWant(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, atomicfield.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, atomicfield.Analyzer, "testdata/src/b")
+}

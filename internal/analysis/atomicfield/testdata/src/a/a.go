@@ -1,0 +1,49 @@
+// Package a exercises atomicfield's flagged cases: plain access to typed
+// atomic fields and to old-style atomically-accessed fields.
+package a
+
+import (
+	"sync/atomic"
+)
+
+type session struct {
+	snap   atomic.Pointer[snapshot]
+	closed atomic.Bool
+	n      uint64 // old-style: accessed via atomic.AddUint64 below
+}
+
+type snapshot struct{ epoch uint64 }
+
+func (s *session) publish(sn *snapshot) {
+	s.snap.Store(sn) // method call: fine
+	atomic.AddUint64(&s.n, 1)
+}
+
+func (s *session) read() *snapshot {
+	return s.snap.Load() // method call: fine
+}
+
+func (s *session) badCopy() atomic.Bool {
+	c := s.closed // want "field closed has atomic type atomic.Bool"
+	return c
+}
+
+func (s *session) badReset() {
+	s.snap = atomic.Pointer[snapshot]{} // want "field snap has atomic type"
+}
+
+func (s *session) badPlainRead() uint64 {
+	return s.n // want "field n is accessed with sync/atomic elsewhere"
+}
+
+func (s *session) badPlainWrite() {
+	s.n++ // want "field n is accessed with sync/atomic elsewhere"
+}
+
+func (s *session) okDelegate() *atomic.Bool {
+	return &s.closed // address-taking: fine
+}
+
+func (s *session) okOldStyle() uint64 {
+	return atomic.LoadUint64(&s.n) // atomic call argument: fine
+}

@@ -1,0 +1,24 @@
+// Package b is atomicfield's clean case: typed atomic fields used only
+// through their methods, old-style fields only through sync/atomic.
+package b
+
+import "sync/atomic"
+
+type counter struct {
+	hits  atomic.Int64
+	total uint64
+}
+
+func (c *counter) hit() {
+	c.hits.Add(1)
+	atomic.AddUint64(&c.total, 1)
+}
+
+func (c *counter) snapshot() (int64, uint64) {
+	return c.hits.Load(), atomic.LoadUint64(&c.total)
+}
+
+// plain is a plain field: unrestricted access stays unflagged.
+type plain struct{ n int }
+
+func (p *plain) bump() { p.n++ }

@@ -1,0 +1,25 @@
+package docdrift_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/docdrift"
+)
+
+// cover opts the fixture packages into phases 2 and 3, which are scoped
+// to the public packages in normal runs.
+func cover(path string) {
+	docdrift.CoveragePaths[path] = true
+	docdrift.InterfacePaths[path] = true
+}
+
+func TestFlagged(t *testing.T) {
+	cover("repro/internal/analysis/docdrift/testdata/src/a")
+	analyzertest.Run(t, docdrift.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	cover("repro/internal/analysis/docdrift/testdata/src/b")
+	analyzertest.Run(t, docdrift.Analyzer, "testdata/src/b")
+}

@@ -1,0 +1,25 @@
+package a // want "package a has no package comment"
+
+type Exported struct{ n int } // want "exported type Exported has no doc comment"
+
+func DoThing() {} // want "exported function DoThing has no doc comment"
+
+func (e *Exported) Bump() { e.n++ } // want "exported method Bump has no doc comment"
+
+func helper() {}
+
+var (
+	MaxSize = 10 // want "exported var MaxSize has no doc comment"
+	minSize = 1
+)
+
+// Store is the storage contract. It documents one method:
+//
+//	Get(key string) string
+type Store interface {
+	Get(key string) string
+	Put(key, val string) // want "documents no method Put"
+}
+
+var _ = helper
+var _ = minSize

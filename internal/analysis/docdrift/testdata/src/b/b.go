@@ -1,0 +1,29 @@
+// Package b is docdrift's clean case: package comment present, exported
+// symbols documented, interface docs matching their method sets.
+package b
+
+// Exported is a documented type.
+type Exported struct{ n int }
+
+// Bump increments the counter.
+func (e *Exported) Bump() { e.n++ }
+
+// DoThing does the thing.
+func DoThing() {}
+
+// Limits for the thing.
+var (
+	MaxSize = 10
+	minSize = 1
+)
+
+// Store is the storage contract:
+//
+//	Get(key string) string
+//	Put(key, val string)
+type Store interface {
+	Get(key string) string
+	Put(key, val string)
+}
+
+var _ = minSize

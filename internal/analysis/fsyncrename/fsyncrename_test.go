@@ -1,0 +1,16 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/fsyncrename"
+)
+
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, fsyncrename.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, fsyncrename.Analyzer, "testdata/src/b")
+}

@@ -1,0 +1,27 @@
+// Package a exercises fsyncrename's flagged cases: renames that publish
+// unsynced content.
+package a
+
+import "os"
+
+func writeFileThenRename(dir string) error {
+	tmp := dir + "/manifest.tmp"
+	if err := os.WriteFile(tmp, []byte("v1"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir+"/manifest") // want "no preceding Sync"
+}
+
+func createNoSync(dir string) error {
+	tmp := dir + "/ckpt.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	return os.Rename(tmp, dir+"/ckpt") // want "no preceding Sync"
+}

@@ -1,0 +1,49 @@
+// Package b is fsyncrename's clean cases: the full write/sync/rename
+// idiom, sync via a helper, and a pure move with no write at all.
+package b
+
+import "os"
+
+func writeSyncRename(dir string) error {
+	tmp := dir + "/manifest.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("v1")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir+"/manifest")
+}
+
+func viaHelper(dir string) error {
+	tmp := dir + "/ckpt.tmp"
+	if err := os.WriteFile(tmp, []byte("data"), 0o644); err != nil {
+		return err
+	}
+	if err := fsyncPath(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir+"/ckpt")
+}
+
+func fsyncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func pureMove(dir string) error {
+	return os.Rename(dir+"/old", dir+"/new")
+}

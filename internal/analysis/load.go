@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadOptions configure Load.
+type LoadOptions struct {
+	// Dir is the working directory for the `go list` invocation (the
+	// module root or below). Empty means the current directory.
+	Dir string
+	// Tests additionally loads each matched package's test variants
+	// (in-package and external test packages), so _test.go files are
+	// analyzed too — the same coverage `go vet` gives.
+	Tests bool
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	ForTest    string
+}
+
+// Load builds and type-checks the packages matched by patterns using the
+// go toolchain itself for dependency resolution: one `go list -export
+// -deps -json` run yields every package's source files and its
+// dependencies' compiled export data, and each matched package is then
+// parsed and type-checked from source against that export data. No
+// network, no module downloads, no third-party loader — the build cache
+// the toolchain already maintains is the only artifact store.
+//
+// Generated test-main packages (ImportPath ending in ".test") are
+// skipped; test variants ("pkg [pkg.test]") are loaded when opts.Tests is
+// set.
+func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly,ForTest"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPackage)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		byPath[lp.ImportPath] = lp
+		if !lp.DepOnly && !strings.HasSuffix(lp.ImportPath, ".test") {
+			targets = append(targets, lp)
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package from source,
+// importing dependencies from their compiled export data.
+func typecheck(lp *listPackage, byPath map[string]*listPackage) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	// The export-data importer resolves a path in two steps: the source
+	// import path maps through the package's ImportMap (vendoring, test
+	// variants), then the canonical path's export file from the go list
+	// output backs the actual read. A fresh importer per target keeps the
+	// per-path cache correct across test variants, which reuse import
+	// paths for different compilations.
+	lookup := func(path string) (io.ReadCloser, error) {
+		dep, ok := byPath[path]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	compilerImporter := importer.ForCompiler(fset, "gc", lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := lp.ImportMap[importPath]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(strings.TrimSuffix(lp.ImportPath, " ["+lp.ForTest+".test]"), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

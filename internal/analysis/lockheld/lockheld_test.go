@@ -1,0 +1,16 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockheld"
+)
+
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, lockheld.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, lockheld.Analyzer, "testdata/src/b")
+}

@@ -1,0 +1,55 @@
+// Package a exercises lockheld's flagged cases: unguarded calls to
+// requires-annotated functions and acquires annotations with missing
+// lock or release calls.
+package a
+
+import "sync"
+
+type session struct {
+	mu    sync.Mutex
+	gate  sync.RWMutex
+	state int
+}
+
+// applyLocked assumes mu is held.
+//
+// lmfao:requires mu
+func (s *session) applyLocked(v int) {
+	s.state = v
+}
+
+func (s *session) unguarded(v int) {
+	s.applyLocked(v) // want "requires mu held"
+}
+
+func (s *session) releasedTooEarly(v int) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.applyLocked(v) // want "requires mu held"
+}
+
+// forgotLock claims to take gate for reading but never does: the
+// shutdown-race regression shape.
+//
+// lmfao:acquires gate.R
+func (s *session) forgotLock(v int) int { // want "never calls gate.RLock"
+	return s.state + v
+}
+
+// wrongMode locks exclusively where the annotation demands a read lock.
+//
+// lmfao:acquires gate.R
+func (s *session) wrongMode() int { // want "never calls gate.RLock"
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	return s.state
+}
+
+// forgotUnlock acquires but never releases.
+//
+// lmfao:acquires mu
+func (s *session) forgotUnlock(v int) { // want "never calls mu.Unlock"
+	s.mu.Lock()
+	s.state = v
+}

@@ -1,0 +1,79 @@
+// Package b is lockheld's clean cases: properly guarded calls, annotated
+// callers, bail-out releases, deferred releases, and guarded closures.
+package b
+
+import "sync"
+
+type session struct {
+	mu    sync.Mutex
+	gate  sync.RWMutex
+	state int
+	err   error
+}
+
+// applyLocked assumes mu is held.
+//
+// lmfao:requires mu
+func (s *session) applyLocked(v int) {
+	s.state = v
+}
+
+// publishLocked assumes mu is held.
+//
+// lmfao:requires mu
+func (s *session) publishLocked() int {
+	return s.state
+}
+
+// Apply is the locked entry point.
+//
+// lmfao:acquires mu
+func (s *session) Apply(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked(v)
+}
+
+// chainLocked is itself annotated, so its calls are covered.
+//
+// lmfao:requires mu
+func (s *session) chainLocked(v int) int {
+	s.applyLocked(v)
+	return s.publishLocked()
+}
+
+// bailout releases only on the error exit; the call below still runs
+// under the lock on the surviving path.
+//
+// lmfao:acquires mu
+func (s *session) bailout(v int) error {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return s.err
+	}
+	s.applyLocked(v)
+	s.mu.Unlock()
+	return nil
+}
+
+// readEntry holds gate for reading across the whole body.
+//
+// lmfao:acquires gate.R
+func (s *session) readEntry() int {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	return s.state
+}
+
+// viaClosure stages work in a literal while the lock is held.
+//
+// lmfao:acquires mu
+func (s *session) viaClosure(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stage := func() {
+		s.applyLocked(v)
+	}
+	stage()
+}

@@ -1,0 +1,137 @@
+// Package pinpair checks that every PinDeltaLog acquisition is released by
+// a matching UnpinDeltaLog on all paths through the acquiring function.
+//
+// Delta-log pins hold back garbage collection of versioned deltas so a
+// checkpoint (or a lagging reader) can replay them; a leaked pin silently
+// disables truncation and the log grows without bound — the failure shows
+// up hours later as disk pressure, far from the leak. The analyzer flags a
+// Pin when the function contains no later Unpin on the same receiver, or
+// when a return statement sits between the Pin and its first later Unpin
+// (a path that leaks). A deferred Unpin on the receiver covers every path
+// and always satisfies the pair. Functions that transfer the pin
+// deliberately (checkpoint publication retains pins until the next
+// checkpoint) opt out with the lmfao:retains-pin annotation.
+package pinpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotations"
+)
+
+// Analyzer is the pinpair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinpair",
+	Doc:  "PinDeltaLog must be paired with UnpinDeltaLog on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if annotations.Has(fd.Doc, annotations.RetainsPin) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// pinCall is one Pin or Unpin call: its position and the printed form of
+// the receiver expression, used to pair calls on the same value.
+type pinCall struct {
+	pos  token.Pos
+	recv string
+}
+
+// checkBody analyzes one function body. Nested function literals are
+// separate scopes: a pin inside a literal must be released inside it, and
+// the literal's returns do not leak the enclosing function's pins.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var pins, unpins []pinCall
+	deferred := map[string]bool{} // receivers with a deferred Unpin
+	deferredCalls := map[*ast.CallExpr]bool{}
+	var returns []token.Pos
+	var lits []*ast.FuncLit
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.DeferStmt:
+			if recv, kind := pinKind(n.Call); kind == "UnpinDeltaLog" {
+				deferred[recv] = true
+				deferredCalls[n.Call] = true
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.CallExpr:
+			if deferredCalls[n] {
+				return true
+			}
+			switch recv, kind := pinKind(n); kind {
+			case "PinDeltaLog":
+				pins = append(pins, pinCall{n.Pos(), recv})
+			case "UnpinDeltaLog":
+				unpins = append(unpins, pinCall{n.Pos(), recv})
+			}
+		}
+		return true
+	})
+
+	for _, pin := range pins {
+		if deferred[pin.recv] {
+			continue
+		}
+		release := firstAfter(unpins, pin)
+		if release == token.NoPos {
+			pass.Reportf(pin.pos, "%s.PinDeltaLog has no matching UnpinDeltaLog in this function; pair it with a defer, or annotate the function lmfao:retains-pin if the pin is deliberately transferred", pin.recv)
+			continue
+		}
+		for _, ret := range returns {
+			if pin.pos < ret && ret < release {
+				pass.Reportf(pin.pos, "a return between %s.PinDeltaLog and its UnpinDeltaLog leaks the pin on that path; release it with defer", pin.recv)
+				break
+			}
+		}
+	}
+
+	for _, lit := range lits {
+		checkBody(pass, lit.Body)
+	}
+}
+
+// firstAfter returns the position of the first Unpin on pin's receiver
+// that lexically follows the pin, or NoPos.
+func firstAfter(unpins []pinCall, pin pinCall) token.Pos {
+	best := token.NoPos
+	for _, u := range unpins {
+		if u.recv == pin.recv && u.pos > pin.pos && (best == token.NoPos || u.pos < best) {
+			best = u.pos
+		}
+	}
+	return best
+}
+
+// pinKind classifies call as a PinDeltaLog or UnpinDeltaLog method call
+// and returns the printed receiver expression, or kind "".
+func pinKind(call *ast.CallExpr) (recv, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	if name != "PinDeltaLog" && name != "UnpinDeltaLog" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), name
+}

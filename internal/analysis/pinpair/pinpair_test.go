@@ -1,0 +1,16 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/pinpair"
+)
+
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, pinpair.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, pinpair.Analyzer, "testdata/src/b")
+}

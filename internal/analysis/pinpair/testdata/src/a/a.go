@@ -1,0 +1,33 @@
+// Package a exercises pinpair's flagged cases: unreleased pins and pins
+// leaked by an early return.
+package a
+
+type rel struct{ pins int }
+
+func (r *rel) PinDeltaLog(v uint64)   { r.pins++ }
+func (r *rel) UnpinDeltaLog(v uint64) { r.pins-- }
+
+func neverReleased(r *rel) {
+	r.PinDeltaLog(1) // want "no matching UnpinDeltaLog"
+	_ = r.pins
+}
+
+func leakOnError(r *rel, fail bool) error {
+	r.PinDeltaLog(2) // want "a return between .* leaks the pin"
+	if fail {
+		return errFail
+	}
+	r.UnpinDeltaLog(2)
+	return nil
+}
+
+func wrongReceiver(a, b *rel) {
+	a.PinDeltaLog(3) // want "no matching UnpinDeltaLog"
+	b.UnpinDeltaLog(3)
+}
+
+var errFail = errorString("fail")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,43 @@
+// Package b is pinpair's clean cases: deferred release, straight-line
+// pairing, an annotated pin transfer, and literal-scoped pairing.
+package b
+
+type rel struct{ pins int }
+
+func (r *rel) PinDeltaLog(v uint64)   { r.pins++ }
+func (r *rel) UnpinDeltaLog(v uint64) { r.pins-- }
+
+func deferred(r *rel, fail bool) error {
+	r.PinDeltaLog(1)
+	defer r.UnpinDeltaLog(1)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func straightLine(r *rel) {
+	r.PinDeltaLog(2)
+	_ = r.pins
+	r.UnpinDeltaLog(2)
+}
+
+// transfer hands the pin to the next checkpoint cycle on purpose.
+//
+// lmfao:retains-pin
+func transfer(r *rel) {
+	r.PinDeltaLog(3)
+}
+
+func inLiteral(r *rel) func() {
+	return func() {
+		r.PinDeltaLog(4)
+		defer r.UnpinDeltaLog(4)
+	}
+}
+
+var errFail = errorString("fail")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,144 @@
+// Package publishedmut checks that values of types annotated
+// lmfao:immutable-after-publish are never written through after
+// construction.
+//
+// The engine's read path is lock-free: readers Load a snapshot pointer and
+// walk the value without synchronization, which is only sound because the
+// value is frozen before the pointer is published. A single in-place write
+// after publication is a data race that the race detector catches only if
+// a test happens to hit the interleaving; the annotation plus this
+// analyzer make freezing a checked contract instead. Flagged writes are
+// assignments, IncDec statements, and element writes (map/slice index)
+// whose base resolves to a field of an annotated type. Construction code
+// opts out by annotating the builder function lmfao:pre-publish.
+//
+// Annotated types are discovered from the doc comments of type
+// declarations in the package under analysis, so the check is
+// same-package: a cross-package mutation of an annotated type is not seen.
+// The engine keeps builders in the defining package, which this analyzer
+// in turn enforces de facto.
+package publishedmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotations"
+)
+
+// Analyzer is the publishedmut analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "publishedmut",
+	Doc:  "no writes through types annotated lmfao:immutable-after-publish",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	frozen := frozenTypes(pass)
+	if len(frozen) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if annotations.Has(fd.Doc, annotations.PrePublish) {
+				continue
+			}
+			checkFunc(pass, frozen, fd)
+		}
+	}
+	return nil
+}
+
+// frozenTypes collects the type names in this package whose declarations
+// carry the immutable-after-publish annotation.
+func frozenTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	frozen := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !annotations.Has(doc, annotations.ImmutableAfterPublish) {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					frozen[tn] = true
+				}
+			}
+		}
+	}
+	return frozen
+}
+
+func checkFunc(pass *analysis.Pass, frozen map[*types.TypeName]bool, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLValue(pass, frozen, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLValue(pass, frozen, n.X)
+		}
+		return true
+	})
+}
+
+// checkLValue unwraps an assignment target down its selector/index chain
+// and reports if any link selects a field of a frozen type.
+func checkLValue(pass *analysis.Pass, frozen map[*types.TypeName]bool, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if tn := frozenBase(pass, frozen, x.X); tn != nil {
+				pass.Reportf(e.Pos(), "write to field %s of %s, which is annotated lmfao:immutable-after-publish; build the value fully before publishing (annotate constructors lmfao:pre-publish)", x.Sel.Name, tn.Name())
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// frozenBase resolves e's type (through pointers) to an annotated type
+// name, or nil.
+func frozenBase(pass *analysis.Pass, frozen map[*types.TypeName]bool, e ast.Expr) *types.TypeName {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if frozen[named.Obj()] {
+		return named.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package publishedmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/publishedmut"
+)
+
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, publishedmut.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, publishedmut.Analyzer, "testdata/src/b")
+}

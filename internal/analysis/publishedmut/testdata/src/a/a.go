@@ -1,0 +1,28 @@
+// Package a exercises publishedmut's flagged cases: post-construction
+// writes through an annotated type.
+package a
+
+// snapshot is the published read-side view.
+//
+// lmfao:immutable-after-publish
+type snapshot struct {
+	epoch uint64
+	rows  map[string]int
+	names []string
+}
+
+func patchEpoch(s *snapshot) {
+	s.epoch = 7 // want "write to field epoch of snapshot"
+}
+
+func bumpEpoch(s *snapshot) {
+	s.epoch++ // want "write to field epoch of snapshot"
+}
+
+func patchRow(s *snapshot) {
+	s.rows["k"] = 1 // want "write to field rows of snapshot"
+}
+
+func patchElem(s *snapshot) {
+	s.names[0] = "x" // want "write to field names of snapshot"
+}

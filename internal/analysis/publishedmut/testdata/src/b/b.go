@@ -1,0 +1,41 @@
+// Package b is publishedmut's clean cases: annotated builders, fresh-copy
+// republish, reads, and unannotated types.
+package b
+
+// snapshot is the published read-side view.
+//
+// lmfao:immutable-after-publish
+type snapshot struct {
+	epoch uint64
+	rows  map[string]int
+}
+
+// build constructs a snapshot before it is visible to any reader.
+//
+// lmfao:pre-publish
+func build(epoch uint64) *snapshot {
+	s := &snapshot{epoch: 0, rows: map[string]int{}}
+	s.epoch = epoch
+	s.rows["seed"] = 1
+	return s
+}
+
+// republish derives a successor by copying, never mutating the original.
+//
+// lmfao:pre-publish
+func republish(old *snapshot) *snapshot {
+	next := &snapshot{epoch: old.epoch + 1, rows: map[string]int{}}
+	for k, v := range old.rows {
+		next.rows[k] = v
+	}
+	return next
+}
+
+func read(s *snapshot) uint64 {
+	return s.epoch
+}
+
+// scratch is not annotated: writes are unrestricted.
+type scratch struct{ n int }
+
+func bump(sc *scratch) { sc.n++ }

@@ -1,0 +1,104 @@
+// Package senterr checks that sentinel errors are compared with errors.Is,
+// never with == or !=.
+//
+// The engine wraps errors as it crosses layers (shard attribution wraps
+// session errors, the serving tier wraps maintainer errors), so an ==
+// against a sentinel like lmfao.ErrSessionClosed silently stops matching
+// the moment a %w wrap is introduced anywhere below — the admission
+// control's closed-maintainer 503 mapping is exactly such a comparison
+// chain. The analyzer flags == / != and switch cases whose operand is a
+// package-level error variable named Err*/err*.
+package senterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the senterr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc:  "compare sentinel errors with errors.Is, not == or !=",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if v := sentinel(pass, n.X); v != nil {
+					report(pass, n.OpPos, v)
+				} else if v := sentinel(pass, n.Y); v != nil {
+					report(pass, n.OpPos, v)
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrFoo: } compares with ==.
+				if n.Tag == nil {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinel(pass, e); v != nil {
+							report(pass, e.Pos(), v)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, v *types.Var) {
+	pass.Reportf(pos, "sentinel error %s compared with ==; use errors.Is so wrapped errors keep matching", v.Name())
+}
+
+// sentinel resolves e to a package-level error variable whose name marks
+// it as a sentinel (Err... / err...), or nil.
+func sentinel(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	// Package-level: the variable's parent scope is its package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}

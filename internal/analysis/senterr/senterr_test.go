@@ -1,0 +1,16 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/senterr"
+)
+
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, senterr.Analyzer, "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, senterr.Analyzer, "testdata/src/b")
+}

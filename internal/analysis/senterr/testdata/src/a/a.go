@@ -1,0 +1,29 @@
+// Package a exercises senterr's flagged cases: == / != / switch-case
+// comparisons against package-level sentinel errors.
+package a
+
+import "errors"
+
+// ErrClosed is a sentinel error.
+var ErrClosed = errors.New("closed")
+
+// errInternal is an unexported sentinel.
+var errInternal = errors.New("internal")
+
+func check(err error) bool {
+	return err == ErrClosed // want "sentinel error ErrClosed compared with =="
+}
+
+func checkNeq(err error) bool {
+	return errInternal != err // want "sentinel error errInternal compared with =="
+}
+
+func checkSwitch(err error) int {
+	switch err {
+	case ErrClosed: // want "sentinel error ErrClosed compared with =="
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}

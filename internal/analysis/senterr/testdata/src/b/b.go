@@ -1,0 +1,29 @@
+// Package b is senterr's clean case: errors.Is for sentinels, and == only
+// where it is legitimate (nil checks, local error variables, non-error
+// values that merely share the Err prefix).
+package b
+
+import "errors"
+
+// ErrClosed is a sentinel error.
+var ErrClosed = errors.New("closed")
+
+// ErrCode is not an error value, just an unfortunately named constant.
+var ErrCode = 503
+
+func check(err error) bool {
+	return errors.Is(err, ErrClosed)
+}
+
+func checkNil(err error) bool {
+	return err == nil
+}
+
+func checkLocal(err error) bool {
+	other := errors.New("local")
+	return err == other
+}
+
+func checkCode(c int) bool {
+	return c == ErrCode
+}

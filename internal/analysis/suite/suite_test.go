@@ -1,0 +1,87 @@
+package suite_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// moduleRoot returns the repository root (this package sits three levels
+// below it).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Clean(filepath.Join(wd, "..", "..", ".."))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestSuiteCleanOnHead runs every analyzer over the whole module (test
+// files included) and demands zero findings: the invariants the suite
+// encodes hold on the tree as committed. A failure here is either a real
+// regression or a new true finding — fix the code or annotate the
+// contract, never this test.
+func TestSuiteCleanOnHead(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadOptions{Dir: moduleRoot(t), Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern ./... no longer covers the module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, suite.All)
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", pkg.ImportPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestSelect covers the -run flag's analyzer subsetting.
+func TestSelect(t *testing.T) {
+	if got, _ := suite.Select(""); len(got) != len(suite.All) {
+		t.Errorf("Select(\"\") returned %d analyzers, want all %d", len(got), len(suite.All))
+	}
+	got, unknown := suite.Select("docdrift,senterr")
+	if unknown != "" || len(got) != 2 || got[0].Name != "docdrift" || got[1].Name != "senterr" {
+		t.Errorf("Select(docdrift,senterr) = %v, %q", got, unknown)
+	}
+	if _, unknown := suite.Select("nosuch"); unknown != "nosuch" {
+		t.Errorf("Select(nosuch) reported unknown=%q, want nosuch", unknown)
+	}
+}
+
+// TestGoVetVettool builds cmd/lmfao-vet and drives it through the real
+// go vet -vettool protocol over the whole module — the exact CI
+// invocation, handshakes and .cfg unit runs included.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running the vettool is slow; skipped with -short")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "lmfao-vet")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/lmfao-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lmfao-vet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}

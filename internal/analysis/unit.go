@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// UnitConfig mirrors the JSON compilation-unit description `go vet` hands
+// a -vettool for each package (the unitchecker protocol): source files,
+// the import-path remapping, and the dependencies' compiled export data.
+// Fields the suite has no use for (fact files, cgo inputs) are listed for
+// compatibility and ignored.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the analyzers over the single compilation unit
+// described by a vet .cfg file and returns its findings. The suite uses no
+// cross-package facts, so fact-only invocations (VetxOnly — `go vet` runs
+// those over every dependency, standard library included) skip analysis
+// entirely; either way an (empty) facts file is written so the build
+// system can cache the unit as processed.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil // the compiler will report it
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		// path is already canonical here (post-ImportMap).
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	return RunPackage(pkg, analyzers)
+}

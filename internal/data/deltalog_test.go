@@ -247,7 +247,7 @@ func TestRelationRestore(t *testing.T) {
 	for i := int64(1); i <= 3; i++ {
 		appendOne(t, rel, i)
 	}
-	rel.PinDeltaLog(1)
+	rel.PinDeltaLog(1) //lmfao:ignore pinpair — Restore below clears the pin wholesale; that is the behavior under test
 
 	if err := rel.Restore([]Column{NewIntColumn([]int64{7, 8})}, 42); err != nil {
 		t.Fatal(err)

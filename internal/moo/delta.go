@@ -587,6 +587,9 @@ func mergeDelta(old, delta *ViewData, countCol int, target []data.AttrID, keepSc
 // hashing, no re-sort. Rows whose merged tuple count is zero are dropped;
 // the consumer range index is rebuilt in the same pass. Returns nil for
 // application outputs (not sorted; the builder path handles them).
+//
+// lmfao:pre-publish — every write lands in the fresh out view; old and
+// delta are only read.
 func mergeSorted(old, delta *ViewData, countCol int) *ViewData {
 	if old.index == nil || delta.index == nil {
 		return nil
@@ -790,6 +793,8 @@ func locateHashed(old, delta *ViewData, rows []int32) bool {
 }
 
 // dropZeroCountRows filters rows whose tuple count is exactly zero.
+//
+// lmfao:pre-publish — writes build the fresh out view; v is only read.
 func dropZeroCountRows(v *ViewData, countCol int) *ViewData {
 	keep := make([]int, 0, v.rows)
 	for i := 0; i < v.rows; i++ {

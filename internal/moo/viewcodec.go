@@ -62,6 +62,9 @@ func (v *ViewData) AppendBinary(buf []byte) []byte {
 // returning the view and the number of bytes consumed. Finalized views get
 // their consumer-key range index rebuilt; the lazy full-key index is left
 // unbuilt (EnsureIndex re-creates it before snapshot publication).
+//
+// lmfao:pre-publish — recovery-side construction of a view no reader holds
+// yet.
 func DecodeViewData(b []byte) (*ViewData, int, error) {
 	d := viewDecoder{b: b}
 	ncols := d.uvarint()
@@ -114,6 +117,8 @@ func DecodeViewData(b []byte) (*ViewData, int, error) {
 
 // buildRangeIndex (re)builds the consumer-key → entry-range index from the
 // already-sorted rows, mirroring the index construction in finalize.
+//
+// lmfao:pre-publish — called only on views under construction (decode).
 func (v *ViewData) buildRangeIndex() {
 	v.index = make(map[string][2]int32, v.rows)
 	buf := make([]byte, 0, 8*len(v.skeyPos))

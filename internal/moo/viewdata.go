@@ -17,6 +17,14 @@ import (
 // carries an index from the "consumer key" (group-by attributes shared with
 // the target) to the contiguous range of entries for that key; the remaining
 // group-by attributes are the view's extras, carried into consumer outputs.
+//
+// Published views are frozen: snapshot readers walk them with no locking,
+// so every in-place mutation happens in builder/maintenance code that runs
+// before the view is reachable from a snapshot (annotated
+// lmfao:pre-publish); the sole post-publication write is the fullIdx
+// atomic, which publishes a whole immutable map.
+//
+// lmfao:immutable-after-publish
 type ViewData struct {
 	GroupBy []data.AttrID
 	// Keys holds one column per group-by attribute (parallel to GroupBy).
@@ -164,6 +172,8 @@ func newViewBuilder(groupBy []data.AttrID, stride int, scalarInit bool) *viewBui
 
 // row returns the row index for key, creating a zero-initialized row on
 // first sight.
+//
+// lmfao:pre-publish
 func (b *viewBuilder) row(key []int64) int32 {
 	b.keybuf = data.AppendKey(b.keybuf[:0], key...)
 	if b.lastRow >= 0 && string(b.keybuf) == b.lastKey {
@@ -188,6 +198,8 @@ func (b *viewBuilder) row(key []int64) int32 {
 }
 
 // add accumulates val into (row, col).
+//
+// lmfao:pre-publish
 func (b *viewBuilder) add(row int32, col int, val float64) {
 	b.vd.Vals[int(row)*b.vd.Stride+col] += val
 }
@@ -210,6 +222,8 @@ func (b *viewBuilder) merge(other *viewBuilder) {
 // finalize sorts the rows by (consumer key, extras) relative to the target
 // node's schema and builds the consumer-key range index. Pass nil targetAttrs
 // for application outputs (no consumer).
+//
+// lmfao:pre-publish
 func (b *viewBuilder) finalize(targetAttrs []data.AttrID) *ViewData {
 	v := b.vd
 	if targetAttrs == nil {

@@ -40,6 +40,8 @@ type ApplyStats struct {
 //
 // Snapshot implements Queryable (and Requerier, when produced by a Session
 // or RunQueryable): it is the unsharded read side of the serving API.
+//
+// lmfao:immutable-after-publish
 type Snapshot struct {
 	epoch    uint64
 	res      *moo.BatchResult
@@ -245,6 +247,8 @@ func (s *Session) Head() *Snapshot { return s.snap.Load() }
 // writerMu. Output lookup indexes are built here, on the write side, so
 // concurrent readers share immutable indexes and never build anything
 // themselves.
+//
+// lmfao:requires writerMu
 func (s *Session) publishLocked(res *moo.BatchResult, versions VersionVector) {
 	for _, v := range res.Results {
 		v.EnsureIndex()
@@ -262,6 +266,8 @@ func (s *Session) publishLocked(res *moo.BatchResult, versions VersionVector) {
 // requeryLocked is the Requery hook installed on every published snapshot:
 // it runs an ad-hoc batch on the session's engine under the writer mutex,
 // so requeries serialize with maintenance and with each other.
+//
+// lmfao:acquires writerMu
 func (s *Session) requeryLocked(queries []*query.Query) (*moo.BatchResult, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
@@ -270,6 +276,8 @@ func (s *Session) requeryLocked(queries []*query.Query) (*moo.BatchResult, error
 
 // Run (re)computes the batch from scratch, caches the full view DAG and
 // publishes it as a new snapshot, which it returns.
+//
+// lmfao:acquires writerMu
 func (s *Session) Run() (Queryable, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
@@ -291,6 +299,8 @@ var errSessionClosed = errors.New("lmfao: session is closed")
 // base relations and views onto a session built over the pristine database;
 // subsequent Apply calls maintain the restored state exactly as if the
 // session had computed it itself.
+//
+// lmfao:acquires writerMu
 func (s *Session) restoreResult(res *moo.BatchResult) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
@@ -298,6 +308,10 @@ func (s *Session) restoreResult(res *moo.BatchResult) {
 	s.publishLocked(res, res.Versions)
 }
 
+// runLocked is Run's body without the lock or the closed gate: a full
+// recompute that replaces the maintained state and publishes it.
+//
+// lmfao:requires writerMu
 func (s *Session) runLocked() (*BatchResult, error) {
 	res, err := s.eng.Run(s.queries)
 	if err != nil {
@@ -319,6 +333,8 @@ func (s *Session) runLocked() (*BatchResult, error) {
 // ShardedSession.Run stages every shard first and publishes only when all of
 // them succeeded, so a failed shard never leaves readers with a mix of
 // recomputed and stale shard components.
+//
+// lmfao:acquires writerMu
 func (s *Session) stageRun() (func(commit bool), error) {
 	s.writerMu.Lock()
 	if s.closed.Load() {
@@ -358,6 +374,8 @@ func (s *Session) Result() *BatchResult {
 // through the same intermediate states a single-threaded caller would
 // observe. Relations the maintenance layer cannot handle incrementally
 // trigger one full recompute instead.
+//
+// lmfao:acquires writerMu
 func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
@@ -370,6 +388,8 @@ func (s *Session) Apply(updates ...Update) ([]*ApplyStats, error) {
 // applyLocked is Apply's body without the closed check: rounds already
 // accepted by ApplyAsync before Close drain through here and commit (the
 // ShardedSession drain semantics), while new calls fail at the gate above.
+//
+// lmfao:requires writerMu
 func (s *Session) applyLocked(updates []Update) ([]*ApplyStats, error) {
 	out := make([]*ApplyStats, 0, len(updates))
 	for _, u := range updates {
@@ -435,6 +455,8 @@ func (s *Session) applyLocked(updates []Update) ([]*ApplyStats, error) {
 // unspecified order; to preserve a specific update order, chain on the
 // returned channel. Unlike ShardedSession.ApplyAsync there is no queueing or
 // coalescing: each call is one maintenance round.
+//
+// lmfao:acquires closeMu.R
 func (s *Session) ApplyAsync(updates ...Update) <-chan ApplyResult {
 	ch := make(chan ApplyResult, 1)
 	s.closeMu.RLock()
@@ -471,6 +493,8 @@ func (s *Session) Wait() { s.async.Wait() }
 // exists mainly to satisfy the Maintainer shutdown contract uniformly with
 // ShardedSession; it is idempotent and safe to call concurrently with
 // readers.
+//
+// lmfao:acquires closeMu
 func (s *Session) Close() {
 	s.closeMu.Lock()
 	already := s.closed.Swap(true)

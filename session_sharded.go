@@ -274,6 +274,8 @@ func (s *ShardedSession) Stats() ShardedStats {
 // when all of them succeeded. A failed Run therefore changes nothing
 // observable — every shard keeps serving its previous snapshot, and Head
 // never merges recomputed shards with stale ones.
+//
+// lmfao:acquires closeMu.R
 func (s *ShardedSession) Run() (Queryable, error) {
 	// Hold the enqueue read lock for the whole recompute (the ApplyAsync
 	// pattern, but for the call's duration): Run executes against the shard
@@ -368,6 +370,8 @@ func routeUpdates(factSchema *data.Relation, key []AttrID, shards int, updates [
 // blindly re-submit a failed multi-shard update; reconcile against
 // Snapshot() first, or keep delete batches shard-local (single-key batches
 // route to one shard by construction).
+//
+// lmfao:acquires closeMu.R
 func (s *ShardedSession) ApplyAsync(updates ...Update) <-chan ApplyResult {
 	ch := make(chan ApplyResult, 1)
 	s.closeMu.RLock()
@@ -419,6 +423,8 @@ func (s *ShardedSession) Wait() { s.pending.Wait() }
 // Close stops the shard workers after draining their queues. Further
 // ApplyAsync/Apply calls fail; snapshots and shard sessions stay readable.
 // Close is idempotent.
+//
+// lmfao:acquires closeMu
 func (s *ShardedSession) Close() {
 	s.closeMu.Lock()
 	already := s.closed.Swap(true)
